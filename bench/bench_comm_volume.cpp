@@ -1,0 +1,148 @@
+// Reproduces the communication-volume claims of Sections 1 and 3.1:
+//   * analytic transmission counts (Cannon 2p^{3/2}-2p^{1/2},
+//     2.5-D 2p-2p^{1/3}, Tesseract 2p^{2/3}) with the p = 64 ratios
+//     31.5x / 3.75x quoted in the introduction;
+//   * MEASURED bytes moved by the actual implementations of Cannon, SUMMA,
+//     2.5-D and Tesseract for one C = A*B at equal processor count.
+#include <cstdio>
+
+#include "comm/communicator.hpp"
+#include "pdgemm/cannon.hpp"
+#include "pdgemm/solomonik25d.hpp"
+#include "pdgemm/summa.hpp"
+#include "pdgemm/tesseract_mm.hpp"
+#include "perf/formulas.hpp"
+#include "tensor/init.hpp"
+
+using namespace tsr;
+
+namespace {
+
+struct Measured {
+  std::int64_t bytes = 0;
+  std::int64_t msgs = 0;
+  double sim_us = 0.0;
+};
+
+Measured finish(comm::World& world) {
+  return Measured{world.total_stats().bytes_sent, world.total_stats().msgs_sent,
+                  world.max_sim_time() * 1e6};
+}
+
+Measured measure_tesseract(int q, int d, const Tensor& a, const Tensor& b) {
+  comm::World world(q * q * d, topo::MachineSpec::meluxina());
+  world.run([&](comm::Communicator& c) {
+    pdg::TesseractComms tc = pdg::TesseractComms::create(c, q, d);
+    Tensor ab = pdg::distribute_a_layout(tc, a);  // local slicing, no comm
+    Tensor bb = pdg::distribute_b_layout(tc, b);
+    (void)pdg::tesseract_ab_local(tc, ab, bb);
+  });
+  return finish(world);
+}
+
+Measured measure_25d(int q, int d, const Tensor& a, const Tensor& b) {
+  comm::World world(q * q * d, topo::MachineSpec::meluxina());
+  world.run([&](comm::Communicator& c) {
+    pdg::TesseractComms tc = pdg::TesseractComms::create(c, q, d);
+    Tensor ab = pdg::block_of(a, q, q, tc.i, tc.j);
+    Tensor bb = pdg::block_of(b, q, q, tc.i, tc.j);
+    (void)pdg::solomonik25d_local(tc, std::move(ab), std::move(bb));
+  });
+  return finish(world);
+}
+
+Measured measure_cannon(int q, const Tensor& a, const Tensor& b) {
+  comm::World world(q * q, topo::MachineSpec::meluxina());
+  world.run([&](comm::Communicator& c) {
+    pdg::Grid2DComms g = pdg::Grid2DComms::create(c, q);
+    Tensor ab = pdg::block_of(a, q, q, g.i, g.j);
+    Tensor bb = pdg::block_of(b, q, q, g.i, g.j);
+    (void)pdg::cannon_local(g, std::move(ab), std::move(bb));
+  });
+  return finish(world);
+}
+
+Measured measure_summa(int q, const Tensor& a, const Tensor& b) {
+  comm::World world(q * q, topo::MachineSpec::meluxina());
+  world.run([&](comm::Communicator& c) {
+    pdg::Grid2DComms g = pdg::Grid2DComms::create(c, q);
+    Tensor ab = pdg::block_of(a, q, q, g.i, g.j);
+    Tensor bb = pdg::block_of(b, q, q, g.i, g.j);
+    (void)pdg::summa_ab_local(g, ab, bb);
+  });
+  return finish(world);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Analytic transmission counts (Section 3.1) ===\n");
+  std::printf("%8s %14s %14s %14s %12s %12s\n", "p", "Cannon", "2.5-D",
+              "Tesseract", "Cannon/Tess", "2.5D/Tess");
+  for (double p : {8.0, 27.0, 64.0, 125.0, 216.0, 512.0}) {
+    const double ca = perf::cannon_transmissions(p);
+    const double d25 = perf::d25_transmissions(p);
+    const double te = perf::tesseract_transmissions(p);
+    std::printf("%8.0f %14.1f %14.1f %14.1f %12.2f %12.2f\n", p, ca, d25, te,
+                ca / te, d25 / te);
+  }
+  std::printf("\nPaper (introduction, p = 64): Cannon/Tesseract = 31.5x,"
+              " 2.5D/Tesseract = 3.75x\n");
+
+  std::printf("\n=== Measured wire bytes for one C = A*B (n = 96) ===\n");
+  Rng rng(1);
+  Tensor a = random_normal({96, 96}, rng);
+  Tensor b = random_normal({96, 96}, rng);
+
+  struct Row {
+    const char* name;
+    int ranks;
+    Measured m;
+  };
+  Row rows[] = {
+      {"Cannon   [2,2]    (p=4)", 4, measure_cannon(2, a, b)},
+      {"SUMMA    [2,2]    (p=4)", 4, measure_summa(2, a, b)},
+      {"Cannon   [4,4]    (p=16)", 16, measure_cannon(4, a, b)},
+      {"SUMMA    [4,4]    (p=16)", 16, measure_summa(4, a, b)},
+      {"2.5-D    [2,2,2]  (p=8)", 8, measure_25d(2, 2, a, b)},
+      {"Tesseract[2,2,2]  (p=8)", 8, measure_tesseract(2, 2, a, b)},
+      {"2.5-D    [4,4,2]  (p=32)", 32, measure_25d(4, 2, a, b)},
+      {"Tesseract[4,4,2]  (p=32)", 32, measure_tesseract(4, 2, a, b)},
+      {"2.5-D    [4,4,4]  (p=64)", 64, measure_25d(4, 4, a, b)},
+      {"Tesseract[4,4,4]  (p=64)", 64, measure_tesseract(4, 4, a, b)},
+  };
+  std::printf("%-28s %8s %12s %10s %12s\n", "algorithm", "ranks", "bytes",
+              "messages", "sim time us");
+  for (const Row& r : rows) {
+    std::printf("%-28s %8d %12lld %10lld %12.1f\n", r.name, r.ranks,
+                static_cast<long long>(r.m.bytes),
+                static_cast<long long>(r.m.msgs), r.m.sim_us);
+  }
+
+  // The deep-learning case the paper targets: A is a tall activation matrix
+  // (rows = batch * seq >> hidden). 2.5-D must broadcast the whole of A
+  // across depth and reduce the equally-tall C back; Tesseract gives each
+  // depth layer its own row slice and never moves A or C between layers.
+  std::printf("\n=== Tall activations: A[3072, 96] x B[96, 96] ===\n");
+  Tensor a_tall = random_normal({3072, 96}, rng);
+  Row tall[] = {
+      {"2.5-D    [2,2,2]  (p=8)", 8, measure_25d(2, 2, a_tall, b)},
+      {"Tesseract[2,2,2]  (p=8)", 8, measure_tesseract(2, 2, a_tall, b)},
+      {"2.5-D    [4,4,4]  (p=64)", 64, measure_25d(4, 4, a_tall, b)},
+      {"Tesseract[4,4,4]  (p=64)", 64, measure_tesseract(4, 4, a_tall, b)},
+  };
+  std::printf("%-28s %8s %12s %10s %12s\n", "algorithm", "ranks", "bytes",
+              "messages", "sim time us");
+  for (const Row& r : tall) {
+    std::printf("%-28s %8d %12lld %10lld %12.1f\n", r.name, r.ranks,
+                static_cast<long long>(r.m.bytes),
+                static_cast<long long>(r.m.msgs), r.m.sim_us);
+  }
+  std::printf(
+      "\nOn square matrices 2.5-D is competitive (fewer, larger shift steps).\n"
+      "On the tall activation matrices of Transformer training — the paper's\n"
+      "workload — Tesseract moves a fraction of 2.5-D's bytes because A and C\n"
+      "never cross the depth dimension; this is the paper's Section 3.1\n"
+      "argument, measured.\n");
+  return 0;
+}

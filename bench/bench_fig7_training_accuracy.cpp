@@ -1,0 +1,67 @@
+// Reproduces Figure 7 (training accuracy): a Vision Transformer trained with
+// the identical recipe (1) on a single device, (2) Tesseract [2,2,1],
+// (3) Tesseract [2,2,2]. The paper's claim — "Tesseract does not introduce
+// any approximations, thus it does not affect the training accuracy" —
+// shows as three coinciding curves.
+//
+// Substitution (DESIGN.md §1): ImageNet-100 + full-size ViT is replaced by a
+// deterministic synthetic 10-class dataset + ViT-lite; exactness is
+// dataset-independent. The paper recipe (Adam, lr 3e-3) is kept.
+#include <cstdio>
+#include <vector>
+
+#include "train/trainer.hpp"
+
+using namespace tsr::train;
+
+int main() {
+  DatasetConfig dcfg;
+  dcfg.classes = 10;
+  dcfg.samples_per_class = 16;
+  dcfg.image_size = 12;
+  dcfg.channels = 3;
+  dcfg.seed = 7;
+
+  VitConfig vcfg;
+  vcfg.image_size = 12;
+  vcfg.patch_size = 4;
+  vcfg.channels = 3;
+  vcfg.hidden = 24;
+  vcfg.heads = 4;
+  vcfg.layers = 2;
+  vcfg.classes = 10;
+
+  TrainConfig tcfg;
+  tcfg.epochs = 8;          // paper: 300 epochs on ImageNet-100; scaled down
+  tcfg.batch_size = 16;     // divisible by all d*q used below
+  tcfg.lr = 3e-3f;          // paper Fig. 7 recipe (Adam, lr 0.003)
+  tcfg.weight_seed = 42;    // "we fixed random seeds and initialization"
+  tcfg.shuffle_seed = 43;
+
+  SyntheticImageDataset data(dcfg);
+
+  std::printf("Figure 7 — ViT training accuracy, identical seeds/recipe\n");
+  std::printf("(1) single device  (2) Tesseract [2,2,1]  (3) Tesseract [2,2,2]\n\n");
+
+  std::vector<EpochStats> serial = train_vit_serial(data, vcfg, tcfg);
+  std::vector<EpochStats> t221 = train_vit_tesseract(data, vcfg, tcfg, 2, 1);
+  std::vector<EpochStats> t222 = train_vit_tesseract(data, vcfg, tcfg, 2, 2);
+
+  std::printf("%-7s %10s %10s %10s   %10s %10s %10s\n", "epoch", "acc(1)",
+              "acc(2)", "acc(3)", "loss(1)", "loss(2)", "loss(3)");
+  float max_acc_gap = 0.0f;
+  for (std::size_t e = 0; e < serial.size(); ++e) {
+    std::printf("%-7zu %10.4f %10.4f %10.4f   %10.4f %10.4f %10.4f\n", e + 1,
+                serial[e].accuracy, t221[e].accuracy, t222[e].accuracy,
+                serial[e].loss, t221[e].loss, t222[e].loss);
+    max_acc_gap = std::max(
+        {max_acc_gap, std::abs(serial[e].accuracy - t221[e].accuracy),
+         std::abs(serial[e].accuracy - t222[e].accuracy)});
+  }
+  std::printf(
+      "\nMax accuracy gap to the single-device baseline: %.4f\n"
+      "(paper: curves coincide — Tesseract is exact up to floating-point\n"
+      " reduction order)\n",
+      max_acc_gap);
+  return 0;
+}

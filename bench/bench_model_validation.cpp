@@ -1,0 +1,70 @@
+// Model validation: the closed-form analytic layer model against the exact
+// phantom replay, across all Table 1 configurations — the standard
+// cross-check for a performance model, plus the breakdown that explains
+// WHERE each scheme spends its time (the paper's Section 3.1 narrative).
+#include <cstdio>
+#include <cmath>
+
+#include "perf/analytic.hpp"
+#include "perf/cost_model.hpp"
+
+using namespace tsr;
+
+namespace {
+
+perf::LayerDims dims(std::int64_t batch) {
+  return perf::LayerDims{batch, 512, 3072, 64};
+}
+
+}  // namespace
+
+int main() {
+  struct Cfg {
+    const char* name;
+    perf::EvalConfig cfg;
+  };
+  const Cfg cfgs[] = {
+      {"Megatron [4]", {.scheme = perf::Scheme::Megatron1D, .p = 4, .dims = dims(12), .layers = 4}},
+      {"Megatron [16]", {.scheme = perf::Scheme::Megatron1D, .p = 16, .dims = dims(12), .layers = 4}},
+      {"Megatron [64]", {.scheme = perf::Scheme::Megatron1D, .p = 64, .dims = dims(12), .layers = 4}},
+      {"Optimus [4,4]", {.scheme = perf::Scheme::Optimus2D, .q = 4, .dims = dims(12), .layers = 4}},
+      {"Optimus [8,8]", {.scheme = perf::Scheme::Optimus2D, .q = 8, .dims = dims(12), .layers = 4}},
+      {"Tesseract [2,2,2]", {.scheme = perf::Scheme::Tesseract, .q = 2, .d = 2, .dims = dims(12), .layers = 4}},
+      {"Tesseract [4,4,2]", {.scheme = perf::Scheme::Tesseract, .q = 4, .d = 2, .dims = dims(12), .layers = 4}},
+      {"Tesseract [4,4,4]", {.scheme = perf::Scheme::Tesseract, .q = 4, .d = 4, .dims = dims(16), .layers = 4}},
+      {"Tesseract [8,8,1]", {.scheme = perf::Scheme::Tesseract, .q = 8, .d = 1, .dims = dims(12), .layers = 4}},
+  };
+
+  std::printf("=== Analytic closed form vs exact phantom replay (fwd, 4 layers) ===\n");
+  std::printf("%-20s %14s %14s %10s\n", "config", "replay (s)", "analytic (s)",
+              "error");
+  double worst = 0.0;
+  for (const Cfg& c : cfgs) {
+    const double replay = perf::evaluate(c.cfg).fwd_seconds;
+    const double analytic = perf::analytic_forward_seconds(c.cfg);
+    const double err = std::fabs(analytic - replay) / replay;
+    worst = std::max(worst, err);
+    std::printf("%-20s %14.4f %14.4f %9.1f%%\n", c.name, replay, analytic,
+                100.0 * err);
+  }
+  std::printf("worst-case analytic error: %.1f%%\n", 100.0 * worst);
+
+  std::printf("\n=== Where the time goes (per layer, fwd, 64 GPUs) ===\n");
+  std::printf("%-20s %10s %12s %14s %10s\n", "config", "compute",
+              "weight comm", "activation comm", "other");
+  auto row = [&](const char* name, const perf::AnalyticBreakdown& b) {
+    std::printf("%-20s %8.2fms %10.2fms %12.2fms %8.2fms\n", name,
+                b.compute * 1e3, b.weight_comm * 1e3, b.activation_comm * 1e3,
+                b.other * 1e3);
+  };
+  const topo::MachineSpec spec = topo::MachineSpec::meluxina();
+  row("Megatron [64]", perf::analytic_megatron_forward(spec, 64, dims(16)));
+  row("Tesseract [8,8,1]", perf::analytic_tesseract_forward(spec, 8, 1, dims(16)));
+  row("Tesseract [4,4,4]", perf::analytic_tesseract_forward(spec, 4, 4, dims(16)));
+  std::printf(
+      "\nThe Section 3.1 story in numbers: Megatron pays in full-activation\n"
+      "all-reduces; [8,8,1] pays in activation panels over a wider, slower\n"
+      "grid; [4,4,4] shrinks the activation term by d and keeps its rows on\n"
+      "NVLink, at the price of more weight-panel traffic.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Google-benchmark micro harness: real host wall-clock of the distributed
+// matmul algorithms on the virtual cluster (small sizes — the host is the
+// substrate here, not the simulated machine) and of the core GEMM kernel.
+#include <benchmark/benchmark.h>
+
+#include "comm/communicator.hpp"
+#include "pdgemm/cannon.hpp"
+#include "pdgemm/solomonik25d.hpp"
+#include "pdgemm/summa.hpp"
+#include "pdgemm/tesseract_mm.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/init.hpp"
+
+using namespace tsr;
+
+namespace {
+
+void BM_SerialGemm(benchmark::State& state) {
+  const std::int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = random_normal({n, n}, rng);
+  Tensor b = random_normal({n, n}, rng);
+  for (auto _ : state) {
+    Tensor c = matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_SerialGemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_TesseractMatmul(benchmark::State& state) {
+  const int q = static_cast<int>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  const std::int64_t n = 48;
+  Rng rng(2);
+  Tensor a = random_normal({n, n}, rng);
+  Tensor b = random_normal({n, n}, rng);
+  for (auto _ : state) {
+    comm::World world(q * q * d);
+    world.run([&](comm::Communicator& c) {
+      pdg::TesseractComms tc = pdg::TesseractComms::create(c, q, d);
+      Tensor ab = pdg::distribute_a_layout(tc, a);
+      Tensor bb = pdg::distribute_b_layout(tc, b);
+      Tensor cb = pdg::tesseract_ab_local(tc, ab, bb);
+      benchmark::DoNotOptimize(cb.data());
+    });
+  }
+}
+BENCHMARK(BM_TesseractMatmul)
+    ->Args({2, 1})
+    ->Args({2, 2})
+    ->Args({4, 1})
+    ->Args({4, 2});
+
+void BM_SummaMatmul(benchmark::State& state) {
+  const int q = static_cast<int>(state.range(0));
+  const std::int64_t n = 48;
+  Rng rng(3);
+  Tensor a = random_normal({n, n}, rng);
+  Tensor b = random_normal({n, n}, rng);
+  for (auto _ : state) {
+    comm::World world(q * q);
+    world.run([&](comm::Communicator& c) {
+      pdg::Grid2DComms g = pdg::Grid2DComms::create(c, q);
+      Tensor ab = pdg::block_of(a, q, q, g.i, g.j);
+      Tensor bb = pdg::block_of(b, q, q, g.i, g.j);
+      Tensor cb = pdg::summa_ab_local(g, ab, bb);
+      benchmark::DoNotOptimize(cb.data());
+    });
+  }
+}
+BENCHMARK(BM_SummaMatmul)->Arg(2)->Arg(4);
+
+void BM_CannonMatmul(benchmark::State& state) {
+  const int q = static_cast<int>(state.range(0));
+  const std::int64_t n = 48;
+  Rng rng(4);
+  Tensor a = random_normal({n, n}, rng);
+  Tensor b = random_normal({n, n}, rng);
+  for (auto _ : state) {
+    comm::World world(q * q);
+    world.run([&](comm::Communicator& c) {
+      pdg::Grid2DComms g = pdg::Grid2DComms::create(c, q);
+      Tensor ab = pdg::block_of(a, q, q, g.i, g.j);
+      Tensor bb = pdg::block_of(b, q, q, g.i, g.j);
+      Tensor cb = pdg::cannon_local(g, std::move(ab), std::move(bb));
+      benchmark::DoNotOptimize(cb.data());
+    });
+  }
+}
+BENCHMARK(BM_CannonMatmul)->Arg(2)->Arg(4);
+
+void BM_Solomonik25D(benchmark::State& state) {
+  const int q = static_cast<int>(state.range(0));
+  const int d = static_cast<int>(state.range(1));
+  const std::int64_t n = 48;
+  Rng rng(5);
+  Tensor a = random_normal({n, n}, rng);
+  Tensor b = random_normal({n, n}, rng);
+  for (auto _ : state) {
+    comm::World world(q * q * d);
+    world.run([&](comm::Communicator& c) {
+      pdg::TesseractComms tc = pdg::TesseractComms::create(c, q, d);
+      Tensor ab = pdg::block_of(a, q, q, tc.i, tc.j);
+      Tensor bb = pdg::block_of(b, q, q, tc.i, tc.j);
+      Tensor cb = pdg::solomonik25d_local(tc, std::move(ab), std::move(bb));
+      benchmark::DoNotOptimize(cb.data());
+    });
+  }
+}
+BENCHMARK(BM_Solomonik25D)->Args({2, 1})->Args({2, 2})->Args({4, 2});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Grid explorer: the paper's "flexible depth and dimension" pitch in action.
+// Given a GPU budget and a model, enumerate every legal [q, q, d]
+// arrangement (plus the Megatron 1-D baseline), evaluate each with the cost
+// model, and report the best — "help users use their GPUs in the most
+// efficient way" (Section 1).
+//
+//   $ ./example_grid_explorer [gpu_budget] [hidden] [heads] [batch]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "perf/cost_model.hpp"
+
+using namespace tsr;
+
+int main(int argc, char** argv) {
+  const int budget = argc > 1 ? std::atoi(argv[1]) : 64;
+  const std::int64_t hidden = argc > 2 ? std::atoll(argv[2]) : 3072;
+  const std::int64_t heads = argc > 3 ? std::atoll(argv[3]) : 64;
+  const std::int64_t batch = argc > 4 ? std::atoll(argv[4]) : 16;
+
+  const perf::LayerDims dims{batch, 512, hidden, heads};
+
+  struct Candidate {
+    perf::EvalConfig cfg;
+    perf::EvalResult res;
+  };
+  std::vector<Candidate> results;
+
+  // Every [q, q, d] with q*q*d <= budget, d <= q (the paper's constraint),
+  // and h, heads divisible by q.
+  for (int q = 1; q * q <= budget; ++q) {
+    if (hidden % q != 0 || heads % q != 0) continue;
+    for (int d = 1; d <= q && q * q * d <= budget; ++d) {
+      perf::EvalConfig cfg{.scheme = perf::Scheme::Tesseract, .q = q, .d = d,
+                           .dims = dims, .layers = 4};
+      results.push_back({cfg, perf::evaluate(cfg)});
+    }
+  }
+  // Megatron baseline at the full budget (if divisibility allows).
+  if (hidden % budget == 0 && heads % budget == 0) {
+    perf::EvalConfig cfg{.scheme = perf::Scheme::Megatron1D, .p = budget,
+                         .dims = dims, .layers = 4};
+    results.push_back({cfg, perf::evaluate(cfg)});
+  }
+
+  std::printf("GPU budget %d, hidden %lld, heads %lld, batch %lld\n\n", budget,
+              static_cast<long long>(hidden), static_cast<long long>(heads),
+              static_cast<long long>(batch));
+  std::printf("%-14s %10s %7s %12s %12s %12s\n", "scheme", "shape", "GPUs",
+              "fwd (s)", "fwd+bwd (s)", "throughput");
+
+  const Candidate* best = nullptr;
+  for (const Candidate& c : results) {
+    std::printf("%-14s %10s %7d %12.4f %12.4f %12.2f\n",
+                perf::scheme_name(c.cfg.scheme).c_str(),
+                c.cfg.shape_string().c_str(), c.cfg.total_ranks(),
+                c.res.fwd_seconds, c.res.fwd_seconds + c.res.bwd_seconds,
+                c.res.throughput);
+    if (best == nullptr || c.res.throughput > best->res.throughput) {
+      best = &c;
+    }
+  }
+  if (best != nullptr) {
+    std::printf("\nBest arrangement: %s %s — %.2f sequences/s\n",
+                perf::scheme_name(best->cfg.scheme).c_str(),
+                best->cfg.shape_string().c_str(), best->res.throughput);
+  }
+  return 0;
+}

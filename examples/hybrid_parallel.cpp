@@ -1,0 +1,79 @@
+// Hybrid parallelism (paper Section 3.4): pipeline stages of Tesseract
+// grids with GPipe micro-batching, plus activation checkpointing — the
+// public API for composing the paper's parallel axes.
+//
+//   $ ./example_hybrid_parallel
+#include <cstdio>
+
+#include "comm/communicator.hpp"
+#include "parallel/dist.hpp"
+#include "parallel/pipeline.hpp"
+#include "tensor/init.hpp"
+
+using namespace tsr;
+
+int main() {
+  // 2 pipeline stages x Tesseract [2,2,1]: 8 virtual ranks.
+  par::PipelineConfig cfg;
+  cfg.stages = 2;
+  cfg.layers_per_stage = 2;
+  cfg.q = 2;
+  cfg.d = 1;
+  cfg.micro_batch = 4;
+  cfg.seq = 8;
+  cfg.hidden = 32;
+  cfg.heads = 4;
+  const int micros = 4;
+
+  Rng data_rng(3);
+  std::vector<Tensor> micro_inputs;
+  std::vector<Tensor> micro_grads;
+  for (int m = 0; m < micros; ++m) {
+    micro_inputs.push_back(
+        random_normal({cfg.micro_batch, cfg.seq, cfg.hidden}, data_rng));
+    micro_grads.push_back(
+        random_normal({cfg.micro_batch, cfg.seq, cfg.hidden}, data_rng));
+  }
+
+  comm::World world(cfg.total_ranks(), topo::MachineSpec::meluxina());
+  world.enable_tracing();
+  world.run([&](comm::Communicator& c) {
+    Rng wrng(9);
+    par::TesseractPipeline pipe(c, cfg, wrng);
+
+    std::vector<Tensor> in_local(static_cast<std::size_t>(micros));
+    std::vector<Tensor> gr_local(static_cast<std::size_t>(micros));
+    for (int m = 0; m < micros; ++m) {
+      in_local[static_cast<std::size_t>(m)] = par::distribute_activation(
+          pipe.context().comms(), micro_inputs[static_cast<std::size_t>(m)]);
+      gr_local[static_cast<std::size_t>(m)] = par::distribute_activation(
+          pipe.context().comms(), micro_grads[static_cast<std::size_t>(m)]);
+    }
+
+    // GPipe sweep: all micros forward (caches stack up), then backward in
+    // reverse order (stacks pop LIFO).
+    (void)pipe.forward(in_local);
+    (void)pipe.backward(gr_local);
+
+    if (c.rank() == 0) {
+      std::printf("stage %d owns %zu encoder layers on a [%d,%d,%d] grid\n",
+                  pipe.stage(), pipe.layers().size(), cfg.q, cfg.q, cfg.d);
+    }
+  });
+
+  std::printf("pipeline step complete: %d micro-batches over %d stages\n",
+              micros, cfg.stages);
+  std::printf("simulated time: %.1f us, wire traffic %.2f MB\n",
+              world.max_sim_time() * 1e6,
+              static_cast<double>(world.total_stats().bytes_sent) / (1 << 20));
+  if (world.write_chrome_trace("pipeline_trace.json")) {
+    std::printf(
+        "wrote pipeline_trace.json — open in chrome://tracing or Perfetto\n"
+        "to see the GPipe overlap and bubble on the simulated timeline\n");
+  }
+  std::printf(
+      "\nThe per-rank simulated clocks overlap: while stage 1 processes\n"
+      "micro-batch i, stage 0 is already computing micro-batch i+1 — the\n"
+      "GPipe schedule the paper's Section 3.4 composes with Tesseract.\n");
+  return 0;
+}

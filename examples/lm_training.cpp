@@ -1,0 +1,45 @@
+// GPT-style causal language model on Tesseract (paper Section 3.3): train
+// the same tiny decoder serially and on a [2,2,2] grid; the loss curves
+// coincide and the model solves the synthetic copy task.
+//
+//   $ ./example_lm_training
+#include <cstdio>
+
+#include "train/lm.hpp"
+
+using namespace tsr::train;
+
+int main() {
+  SyntheticCorpus corpus(/*samples=*/32, /*seq=*/8, /*vocab=*/16,
+                         /*period=*/2, /*seed=*/5);
+  LmConfig mcfg;
+  mcfg.vocab = 16;
+  mcfg.seq = 8;
+  mcfg.hidden = 16;
+  mcfg.heads = 4;
+  mcfg.layers = 2;
+
+  TrainConfig tcfg;
+  tcfg.epochs = 6;
+  tcfg.batch_size = 8;
+  tcfg.lr = 3e-3f;
+
+  std::printf("causal LM on the periodic-copy task (%d samples, vocab %lld)\n\n",
+              corpus.size(), static_cast<long long>(mcfg.vocab));
+  std::printf("training on a single device...\n");
+  auto serial = train_lm_serial(corpus, mcfg, tcfg);
+  std::printf("training on Tesseract [2,2,2] (8 virtual ranks)...\n\n");
+  auto parallel = train_lm_tesseract(corpus, mcfg, tcfg, 2, 2);
+
+  std::printf("%-7s %14s %14s %16s %16s\n", "epoch", "serial loss",
+              "tesseract loss", "serial tok-acc", "tesseract tok-acc");
+  for (std::size_t e = 0; e < serial.size(); ++e) {
+    std::printf("%-7zu %14.4f %14.4f %16.4f %16.4f\n", e + 1, serial[e].loss,
+                parallel[e].loss, serial[e].accuracy, parallel[e].accuracy);
+  }
+  std::printf(
+      "\nSection 3.3 in practice: the causal mask is per-head-local, so the\n"
+      "GPT-style decoder parallelizes exactly like the encoder — no extra\n"
+      "communication, no accuracy change.\n");
+  return 0;
+}

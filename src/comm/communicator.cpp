@@ -1,0 +1,712 @@
+#include "comm/communicator.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "runtime/cluster.hpp"
+
+namespace tsr::comm {
+namespace {
+
+// Deterministic 64->64 mixer (SplitMix64 finalizer) for communicator ids.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint32_t derive_comm_id(std::uint64_t parent_id, std::uint64_t salt,
+                             std::uint64_t content) {
+  std::uint64_t h = mix64(parent_id ^ mix64(salt + 0x9E3779B97F4A7C15ULL));
+  h = mix64(h ^ content);
+  std::uint32_t id = static_cast<std::uint32_t>(h ^ (h >> 32));
+  return id == 0 ? 1u : id;  // id 0 reserved for "invalid"
+}
+
+std::uint64_t hash_ranks(const std::vector<int>& ranks) {
+  std::uint64_t h = 0x2545F4914F6CDD1DULL;
+  for (int r : ranks) h = mix64(h ^ static_cast<std::uint64_t>(r + 1));
+  return h;
+}
+
+// Payload size (bytes) above which broadcast/reduce switch from the
+// latency-optimal binomial tree to the bandwidth-optimal pipelined form
+// (scatter + ring all-gather / ring reduce-scatter + gather), mirroring the
+// protocol switch real collective libraries make.
+constexpr std::int64_t kPipelinedCollectiveBytes = 64 * 1024;
+
+// Splits `total` into `parts` chunks: remainder goes to the low indices.
+std::int64_t chunk_size(std::int64_t total, int parts, int idx) {
+  return total / parts + (idx < static_cast<int>(total % parts) ? 1 : 0);
+}
+
+std::int64_t chunk_offset(std::int64_t total, int parts, int idx) {
+  const std::int64_t base = total / parts;
+  const std::int64_t rem = total % parts;
+  return base * idx + std::min<std::int64_t>(idx, rem);
+}
+
+}  // namespace
+
+void apply_reduce(ReduceOp op, float* dst, const float* src, std::int64_t n) {
+  if (op == ReduceOp::Sum) {
+    for (std::int64_t i = 0; i < n; ++i) dst[i] += src[i];
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) dst[i] = std::max(dst[i], src[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// World
+// ---------------------------------------------------------------------------
+
+World::World(int nranks, topo::MachineSpec spec)
+    : nranks_(nranks), spec_(spec) {
+  check(nranks >= 1, "World: nranks must be >= 1");
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    mailboxes_.push_back(std::make_unique<Mailbox>());
+  }
+  clocks_.resize(static_cast<std::size_t>(nranks));
+  stats_.resize(static_cast<std::size_t>(nranks));
+  traces_.resize(static_cast<std::size_t>(nranks));
+}
+
+void World::record_span(int rank, const char* name, double t0, double t1) {
+  traces_[static_cast<std::size_t>(rank)].push_back(TraceEvent{name, t0, t1});
+}
+
+bool World::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (int r = 0; r < nranks_; ++r) {
+    for (const TraceEvent& e : traces_[static_cast<std::size_t>(r)]) {
+      if (!first) out << ',';
+      first = false;
+      // Durations in microseconds of SIMULATED time; one tid per rank.
+      out << "{\"name\":\"" << e.name << "\",\"ph\":\"X\",\"pid\":0"
+          << ",\"tid\":" << r << ",\"ts\":" << e.t0 * 1e6 << ",\"dur\":"
+          << (e.t1 - e.t0) * 1e6 << "}";
+    }
+  }
+  out << "]}";
+  return static_cast<bool>(out);
+}
+
+Communicator World::comm(int rank) {
+  check(rank >= 0 && rank < nranks_, "World::comm: rank out of range");
+  auto group = std::make_shared<std::vector<int>>();
+  group->reserve(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) group->push_back(r);
+  return Communicator(this, std::move(group), rank, /*comm_id=*/1);
+}
+
+double World::max_sim_time() const {
+  double t = 0.0;
+  for (const rt::SimClock& c : clocks_) t = std::max(t, c.now());
+  return t;
+}
+
+void World::reset_clocks() {
+  for (rt::SimClock& c : clocks_) c.reset();
+}
+
+void World::reset_stats() {
+  for (CommStats& s : stats_) s.reset();
+}
+
+CommStats World::total_stats() const {
+  CommStats total;
+  for (const CommStats& s : stats_) total.merge(s);
+  return total;
+}
+
+void World::poison(const std::string& why) {
+  for (auto& mb : mailboxes_) mb->poison(why);
+}
+
+void World::run(const std::function<void(Communicator&)>& fn) {
+  // Distinguish the originating failure from the secondary "poisoned"
+  // unwinds of peers blocked in collectives, so the caller sees the cause.
+  std::vector<std::exception_ptr> primary(static_cast<std::size_t>(nranks_));
+  std::vector<std::exception_ptr> secondary(static_cast<std::size_t>(nranks_));
+  rt::run_spmd(nranks_, [&](int r) {
+    Communicator c = comm(r);
+    try {
+      fn(c);
+    } catch (const std::runtime_error& e) {
+      if (std::string(e.what()).rfind("Mailbox poisoned", 0) == 0) {
+        secondary[static_cast<std::size_t>(r)] = std::current_exception();
+      } else {
+        primary[static_cast<std::size_t>(r)] = std::current_exception();
+        poison("rank " + std::to_string(r) + " failed: " + e.what());
+      }
+    } catch (...) {
+      primary[static_cast<std::size_t>(r)] = std::current_exception();
+      poison("rank " + std::to_string(r) + " failed");
+    }
+  });
+  for (const std::exception_ptr& e : primary) {
+    if (e) std::rethrow_exception(e);
+  }
+  for (const std::exception_ptr& e : secondary) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Communicator
+// ---------------------------------------------------------------------------
+
+Communicator::Communicator(World* world,
+                           std::shared_ptr<const std::vector<int>> group,
+                           int grank, std::uint32_t comm_id)
+    : world_(world), group_(std::move(group)), grank_(grank), comm_id_(comm_id) {}
+
+std::uint64_t Communicator::next_tag() {
+  const std::uint64_t s = (seq_++) & 0x7FFFFFFFULL;
+  return (static_cast<std::uint64_t>(comm_id_) << 32) | (s << 1);
+}
+
+std::uint64_t Communicator::user_tag(std::uint64_t tag) const {
+  return (static_cast<std::uint64_t>(comm_id_) << 32) |
+         ((tag & 0x7FFFFFFFULL) << 1) | 1ULL;
+}
+
+void Communicator::send_msg(int dst_grank, std::uint64_t tag, const float* data,
+                            std::int64_t count, std::int64_t wire_bytes) {
+  const int src_w = world_rank();
+  const int dst_w = world_rank_of(dst_grank);
+  Message m;
+  m.src = src_w;
+  m.tag = tag;
+  m.wire_bytes = wire_bytes;
+  if (data != nullptr) {
+    m.payload = std::make_shared<std::vector<float>>(data, data + count);
+  }
+  // Timing model: the sender's NIC is occupied for bytes * beta
+  // (serialization), so back-to-back sends queue behind each other; the
+  // message then lands alpha later. For a single message this reduces to
+  // the classic alpha + n*beta.
+  const topo::LinkType link = world_->spec().link(src_w, dst_w);
+  if (link != topo::LinkType::Self) {
+    const topo::LinkParams& params = world_->spec().params(link);
+    clock().advance(static_cast<double>(wire_bytes) * params.beta);
+    m.arrival_time = clock().now() + params.alpha;
+  } else {
+    m.arrival_time = clock().now();
+  }
+  stats().record_msg(wire_bytes, link == topo::LinkType::InterNode);
+  world_->mailbox(dst_w).push(std::move(m));
+}
+
+Message Communicator::recv_msg(int src_grank, std::uint64_t tag) {
+  Message m = world_->mailbox(world_rank()).pop(world_rank_of(src_grank), tag);
+  clock().advance_to(m.arrival_time);
+  return m;
+}
+
+// ---- Group construction ----------------------------------------------------
+
+Communicator Communicator::split(int color, int key) {
+  const int g = size();
+  // All-gather (color, key, world_rank) triples, then build groups locally.
+  std::vector<float> local = {static_cast<float>(color), static_cast<float>(key),
+                              static_cast<float>(world_rank())};
+  std::vector<float> all(static_cast<std::size_t>(3 * g));
+  const std::uint64_t salt = seq_;  // symmetric across members pre-all_gather
+  all_gather(local, all);
+
+  struct Entry {
+    int key;
+    int world_rank;
+  };
+  std::vector<Entry> members;
+  for (int r = 0; r < g; ++r) {
+    const int c = static_cast<int>(all[static_cast<std::size_t>(3 * r)]);
+    if (c != color) continue;
+    members.push_back(
+        Entry{static_cast<int>(all[static_cast<std::size_t>(3 * r + 1)]),
+              static_cast<int>(all[static_cast<std::size_t>(3 * r + 2)])});
+  }
+  std::sort(members.begin(), members.end(), [](const Entry& a, const Entry& b) {
+    return a.key != b.key ? a.key < b.key : a.world_rank < b.world_rank;
+  });
+  auto new_group = std::make_shared<std::vector<int>>();
+  int my_index = -1;
+  for (const Entry& e : members) {
+    if (e.world_rank == world_rank()) {
+      my_index = static_cast<int>(new_group->size());
+    }
+    new_group->push_back(e.world_rank);
+  }
+  check(my_index >= 0, "Communicator::split: caller missing from its color");
+  const std::uint32_t id =
+      derive_comm_id(comm_id_, salt, static_cast<std::uint64_t>(color) + 1);
+  return Communicator(world_, std::move(new_group), my_index, id);
+}
+
+Communicator Communicator::subgroup(const std::vector<int>& world_ranks) const {
+  check(!world_ranks.empty(), "Communicator::subgroup: empty group");
+  int my_index = -1;
+  for (std::size_t i = 0; i < world_ranks.size(); ++i) {
+    if (world_ranks[i] == world_rank()) my_index = static_cast<int>(i);
+  }
+  check(my_index >= 0, "Communicator::subgroup: caller not in group");
+  const std::uint32_t id =
+      derive_comm_id(comm_id_, /*salt=*/0xAB, hash_ranks(world_ranks));
+  return Communicator(world_,
+                      std::make_shared<std::vector<int>>(world_ranks), my_index,
+                      id);
+}
+
+// ---- Point-to-point ----------------------------------------------------------
+
+void Communicator::send(int dst, std::uint64_t tag, std::span<const float> data) {
+  send_msg(dst, user_tag(tag), data.data(), static_cast<std::int64_t>(data.size()),
+           static_cast<std::int64_t>(data.size() * sizeof(float)));
+}
+
+std::vector<float> Communicator::recv(int src, std::uint64_t tag) {
+  Message m = recv_msg(src, user_tag(tag));
+  check(m.payload != nullptr, "Communicator::recv: phantom message received");
+  return std::move(*m.payload);
+}
+
+void Communicator::sendrecv(int dst, std::span<const float> send_data, int src,
+                            std::span<float> recv_data, std::uint64_t tag) {
+  send(dst, tag, send_data);
+  std::vector<float> r = recv(src, tag);
+  check(r.size() == recv_data.size(), "sendrecv: size mismatch");
+  std::copy(r.begin(), r.end(), recv_data.begin());
+}
+
+// ---- Collectives ----------------------------------------------------------
+
+void Communicator::barrier() {
+  TraceSpan span(this, "barrier");
+  const int g = size();
+  if (g == 1) return;
+  const std::uint64_t tag = next_tag();
+  stats().record_collective("barrier", 0);
+  // Dissemination barrier: ceil(log2 g) rounds of zero-byte exchanges.
+  for (int dist = 1; dist < g; dist <<= 1) {
+    static const float dummy = 0.0f;
+    send_msg((grank_ + dist) % g, tag, &dummy, 0, 0);
+    (void)recv_msg((grank_ - dist + g) % g, tag);
+  }
+}
+
+void Communicator::broadcast_impl(float* data, std::int64_t count,
+                                  std::int64_t total_bytes, int root) {
+  TraceSpan span(this, "broadcast");
+  const int g = size();
+  check(root >= 0 && root < g, "broadcast: root out of range");
+  const std::uint64_t tag = next_tag();
+  stats().record_collective("broadcast", total_bytes);
+  if (g == 1) return;
+
+  if (total_bytes >= kPipelinedCollectiveBytes) {
+    // Bandwidth-optimal van de Geijn broadcast: the root scatters g chunks,
+    // then a ring all-gather circulates them. Large weight panels in the
+    // SUMMA/Tesseract loops take this path, as they would under NCCL.
+    const bool real = data != nullptr;
+    auto ccount = [&](int c) { return real ? chunk_size(count, g, c) : 0; };
+    auto coffset = [&](int c) { return real ? chunk_offset(count, g, c) : 0; };
+    auto cbytes = [&](int c) {
+      return real ? ccount(c) * static_cast<std::int64_t>(sizeof(float))
+                  : chunk_size(total_bytes / 4, g, c) * 4 +
+                        (c == 0 ? total_bytes % 4 : 0);
+    };
+    // Phase 1 — scatter: rank c receives chunk c.
+    if (grank_ == root) {
+      for (int c = 0; c < g; ++c) {
+        if (c == root) continue;
+        send_msg(c, tag, real ? data + coffset(c) : nullptr, ccount(c),
+                 cbytes(c));
+      }
+    } else {
+      Message m = recv_msg(root, tag);
+      if (real && m.payload != nullptr) {
+        std::copy(m.payload->begin(), m.payload->end(), data + coffset(grank_));
+      }
+    }
+    // Phase 2 — ring all-gather of the chunks.
+    const int right = (grank_ + 1) % g;
+    const int left = (grank_ - 1 + g) % g;
+    for (int s = 0; s < g - 1; ++s) {
+      const int send_c = (grank_ - s + 2 * g) % g;
+      const int recv_c = (grank_ - s - 1 + 2 * g) % g;
+      send_msg(right, tag, real ? data + coffset(send_c) : nullptr,
+               ccount(send_c), cbytes(send_c));
+      Message m = recv_msg(left, tag);
+      if (real && m.payload != nullptr) {
+        std::copy(m.payload->begin(), m.payload->end(), data + coffset(recv_c));
+      }
+    }
+    return;
+  }
+
+  const int vr = (grank_ - root + g) % g;  // relative rank; root -> 0
+  auto abs_rank = [&](int relative) { return (relative + root) % g; };
+
+  // Receive phase: wait for the parent in the binomial tree.
+  int mask = 1;
+  while (mask < g) {
+    if (vr & mask) {
+      Message m = recv_msg(abs_rank(vr - mask), tag);
+      if (data != nullptr && m.payload != nullptr) {
+        check(static_cast<std::int64_t>(m.payload->size()) == count,
+              "broadcast: payload size mismatch");
+        std::copy(m.payload->begin(), m.payload->end(), data);
+      }
+      break;
+    }
+    mask <<= 1;
+  }
+  // Send phase: forward to children at decreasing bit positions.
+  mask >>= 1;
+  while (mask > 0) {
+    if (vr + mask < g) {
+      send_msg(abs_rank(vr + mask), tag, data, data != nullptr ? count : 0,
+               total_bytes);
+    }
+    mask >>= 1;
+  }
+}
+
+void Communicator::broadcast(std::span<float> data, int root) {
+  broadcast_impl(data.data(), static_cast<std::int64_t>(data.size()),
+                 static_cast<std::int64_t>(data.size() * sizeof(float)), root);
+}
+
+void Communicator::phantom_broadcast(int root, std::int64_t bytes) {
+  broadcast_impl(nullptr, 0, bytes, root);
+}
+
+void Communicator::reduce_impl(float* data, std::int64_t count,
+                               std::int64_t total_bytes, int root, ReduceOp op) {
+  TraceSpan span(this, "reduce");
+  const int g = size();
+  check(root >= 0 && root < g, "reduce: root out of range");
+  const std::uint64_t tag = next_tag();
+  stats().record_collective("reduce", total_bytes);
+  if (g == 1) return;
+
+  if (total_bytes >= kPipelinedCollectiveBytes) {
+    // Bandwidth-optimal reduce: ring reduce-scatter (rank r ends owning the
+    // fully reduced chunk r), then every rank ships its chunk to the root.
+    const bool real = data != nullptr;
+    auto ccount = [&](int c) { return real ? chunk_size(count, g, c) : 0; };
+    auto coffset = [&](int c) { return real ? chunk_offset(count, g, c) : 0; };
+    auto cbytes = [&](int c) {
+      return real ? ccount(c) * static_cast<std::int64_t>(sizeof(float))
+                  : chunk_size(total_bytes / 4, g, c) * 4 +
+                        (c == 0 ? total_bytes % 4 : 0);
+    };
+    const int right = (grank_ + 1) % g;
+    const int left = (grank_ - 1 + g) % g;
+    for (int s = 0; s < g - 1; ++s) {
+      const int send_c = (grank_ - s - 1 + 2 * g) % g;
+      const int recv_c = (grank_ - s - 2 + 2 * g) % g;
+      send_msg(right, tag, real ? data + coffset(send_c) : nullptr,
+               ccount(send_c), cbytes(send_c));
+      Message m = recv_msg(left, tag);
+      if (real && m.payload != nullptr) {
+        apply_reduce(op, data + coffset(recv_c), m.payload->data(),
+                     ccount(recv_c));
+      }
+    }
+    if (grank_ == root) {
+      for (int c = 0; c < g; ++c) {
+        if (c == root) continue;
+        Message m = recv_msg(c, tag);
+        if (real && m.payload != nullptr) {
+          std::copy(m.payload->begin(), m.payload->end(), data + coffset(c));
+        }
+      }
+    } else {
+      send_msg(root, tag, real ? data + coffset(grank_) : nullptr,
+               ccount(grank_), cbytes(grank_));
+    }
+    return;
+  }
+
+  const int vr = (grank_ - root + g) % g;
+  auto abs_rank = [&](int relative) { return (relative + root) % g; };
+
+  // Reverse binomial tree: combine children, then forward to the parent.
+  int mask = 1;
+  while (mask < g) {
+    if ((vr & mask) == 0) {
+      const int src_vr = vr | mask;
+      if (src_vr < g) {
+        Message m = recv_msg(abs_rank(src_vr), tag);
+        if (data != nullptr && m.payload != nullptr) {
+          check(static_cast<std::int64_t>(m.payload->size()) == count,
+                "reduce: payload size mismatch");
+          apply_reduce(op, data, m.payload->data(), count);
+        }
+      }
+    } else {
+      send_msg(abs_rank(vr & ~mask), tag, data, data != nullptr ? count : 0,
+               total_bytes);
+      break;
+    }
+    mask <<= 1;
+  }
+}
+
+void Communicator::reduce(std::span<float> data, int root, ReduceOp op) {
+  reduce_impl(data.data(), static_cast<std::int64_t>(data.size()),
+              static_cast<std::int64_t>(data.size() * sizeof(float)), root, op);
+}
+
+void Communicator::phantom_reduce(int root, std::int64_t bytes) {
+  reduce_impl(nullptr, 0, bytes, root, ReduceOp::Sum);
+}
+
+void Communicator::all_reduce_impl(float* data, std::int64_t count,
+                                   std::int64_t total_bytes, ReduceOp op) {
+  TraceSpan span(this, "all_reduce");
+  const int g = size();
+  stats().record_collective("all_reduce", total_bytes);
+  if (g == 1) return;
+  const std::uint64_t tag = next_tag();
+  const int right = (grank_ + 1) % g;
+  const int left = (grank_ - 1 + g) % g;
+  const bool real = data != nullptr;
+
+  auto ccount = [&](int c) { return real ? chunk_size(count, g, c) : 0; };
+  auto coffset = [&](int c) { return real ? chunk_offset(count, g, c) : 0; };
+  // Phantom chunk sizes are computed in float elements so a replay with
+  // bytes == 4 * count reproduces the real byte distribution exactly, even
+  // when count does not divide the group size.
+  auto cbytes = [&](int c) {
+    return real ? ccount(c) * static_cast<std::int64_t>(sizeof(float))
+                : chunk_size(total_bytes / 4, g, c) * 4 +
+                      (c == 0 ? total_bytes % 4 : 0);
+  };
+
+  // Phase 1 — ring reduce-scatter: after step s, the chunk received is
+  // (rank - s - 1) mod g; rank r ends owning the fully-reduced chunk (r+1)%g.
+  for (int s = 0; s < g - 1; ++s) {
+    const int send_c = (grank_ - s + 2 * g) % g;
+    const int recv_c = (grank_ - s - 1 + 2 * g) % g;
+    send_msg(right, tag, real ? data + coffset(send_c) : nullptr, ccount(send_c),
+             cbytes(send_c));
+    Message m = recv_msg(left, tag);
+    if (real && m.payload != nullptr) {
+      apply_reduce(op, data + coffset(recv_c), m.payload->data(), ccount(recv_c));
+    }
+  }
+  // Phase 2 — ring all-gather of the owned chunks.
+  for (int s = 0; s < g - 1; ++s) {
+    const int send_c = (grank_ + 1 - s + 2 * g) % g;
+    const int recv_c = (grank_ - s + 2 * g) % g;
+    send_msg(right, tag, real ? data + coffset(send_c) : nullptr, ccount(send_c),
+             cbytes(send_c));
+    Message m = recv_msg(left, tag);
+    if (real && m.payload != nullptr) {
+      check(static_cast<std::int64_t>(m.payload->size()) == ccount(recv_c),
+            "all_reduce: chunk size mismatch");
+      std::copy(m.payload->begin(), m.payload->end(), data + coffset(recv_c));
+    }
+  }
+}
+
+void Communicator::all_reduce(std::span<float> data, ReduceOp op) {
+  all_reduce_impl(data.data(), static_cast<std::int64_t>(data.size()),
+                  static_cast<std::int64_t>(data.size() * sizeof(float)), op);
+}
+
+void Communicator::phantom_all_reduce(std::int64_t bytes) {
+  all_reduce_impl(nullptr, 0, bytes, ReduceOp::Sum);
+}
+
+void Communicator::all_gather_impl(const float* local, float* out,
+                                   std::int64_t chunk_count,
+                                   std::int64_t chunk_bytes) {
+  TraceSpan span(this, "all_gather");
+  const int g = size();
+  stats().record_collective("all_gather", chunk_bytes * g);
+  const bool real = out != nullptr;
+  if (real) {
+    std::memcpy(out + grank_ * chunk_count, local,
+                static_cast<std::size_t>(chunk_count) * sizeof(float));
+  }
+  if (g == 1) return;
+  const std::uint64_t tag = next_tag();
+  const int right = (grank_ + 1) % g;
+  const int left = (grank_ - 1 + g) % g;
+  for (int s = 0; s < g - 1; ++s) {
+    const int send_c = (grank_ - s + 2 * g) % g;
+    const int recv_c = (grank_ - s - 1 + 2 * g) % g;
+    send_msg(right, tag, real ? out + send_c * chunk_count : nullptr,
+             real ? chunk_count : 0, chunk_bytes);
+    Message m = recv_msg(left, tag);
+    if (real && m.payload != nullptr) {
+      std::copy(m.payload->begin(), m.payload->end(), out + recv_c * chunk_count);
+    }
+  }
+}
+
+void Communicator::all_gather(std::span<const float> local,
+                              std::span<float> out) {
+  check(out.size() == local.size() * static_cast<std::size_t>(size()),
+        "all_gather: output must be size() * local chunk");
+  all_gather_impl(local.data(), out.data(),
+                  static_cast<std::int64_t>(local.size()),
+                  static_cast<std::int64_t>(local.size() * sizeof(float)));
+}
+
+void Communicator::phantom_all_gather(std::int64_t bytes_per_rank) {
+  all_gather_impl(nullptr, nullptr, 0, bytes_per_rank);
+}
+
+void Communicator::reduce_scatter_impl(float* data, float* out,
+                                       std::int64_t chunk_count,
+                                       std::int64_t chunk_bytes, ReduceOp op) {
+  TraceSpan span(this, "reduce_scatter");
+  const int g = size();
+  stats().record_collective("reduce_scatter", chunk_bytes * g);
+  const bool real = data != nullptr;
+  if (g == 1) {
+    if (real) {
+      std::memcpy(out, data, static_cast<std::size_t>(chunk_count) * sizeof(float));
+    }
+    return;
+  }
+  const std::uint64_t tag = next_tag();
+  const int right = (grank_ + 1) % g;
+  const int left = (grank_ - 1 + g) % g;
+  // Ring reduce-scatter shifted so rank r ends owning chunk r.
+  for (int s = 0; s < g - 1; ++s) {
+    const int send_c = (grank_ - s - 1 + 2 * g) % g;
+    const int recv_c = (grank_ - s - 2 + 2 * g) % g;
+    send_msg(right, tag, real ? data + send_c * chunk_count : nullptr,
+             real ? chunk_count : 0, chunk_bytes);
+    Message m = recv_msg(left, tag);
+    if (real && m.payload != nullptr) {
+      apply_reduce(op, data + recv_c * chunk_count, m.payload->data(),
+                   chunk_count);
+    }
+  }
+  if (real) {
+    std::memcpy(out, data + grank_ * chunk_count,
+                static_cast<std::size_t>(chunk_count) * sizeof(float));
+  }
+}
+
+void Communicator::reduce_scatter(std::span<float> data, std::span<float> out,
+                                  ReduceOp op) {
+  check(data.size() == out.size() * static_cast<std::size_t>(size()),
+        "reduce_scatter: input must be size() * output chunk");
+  reduce_scatter_impl(data.data(), out.data(),
+                      static_cast<std::int64_t>(out.size()),
+                      static_cast<std::int64_t>(out.size() * sizeof(float)), op);
+}
+
+void Communicator::phantom_reduce_scatter(std::int64_t total_bytes) {
+  reduce_scatter_impl(nullptr, nullptr, 0, total_bytes / size(), ReduceOp::Sum);
+}
+
+void Communicator::gather(std::span<const float> local, std::span<float> out,
+                          int root) {
+  TraceSpan span(this, "gather");
+  const int g = size();
+  check(root >= 0 && root < g, "gather: root out of range");
+  const std::uint64_t tag = next_tag();
+  stats().record_collective("gather",
+                            static_cast<std::int64_t>(local.size() * sizeof(float)) * g);
+  if (grank_ == root) {
+    check(out.size() == local.size() * static_cast<std::size_t>(g),
+          "gather: output must be size() * local chunk");
+    std::copy(local.begin(), local.end(),
+              out.begin() + static_cast<std::ptrdiff_t>(root * local.size()));
+    for (int r = 0; r < g; ++r) {
+      if (r == root) continue;
+      Message m = recv_msg(r, tag);
+      check(m.payload != nullptr && m.payload->size() == local.size(),
+            "gather: contribution size mismatch");
+      std::copy(m.payload->begin(), m.payload->end(),
+                out.begin() + static_cast<std::ptrdiff_t>(r) *
+                                  static_cast<std::ptrdiff_t>(local.size()));
+    }
+  } else {
+    send_msg(root, tag, local.data(), static_cast<std::int64_t>(local.size()),
+             static_cast<std::int64_t>(local.size() * sizeof(float)));
+  }
+}
+
+void Communicator::scatter(std::span<const float> in, std::span<float> local,
+                           int root) {
+  TraceSpan span(this, "scatter");
+  const int g = size();
+  check(root >= 0 && root < g, "scatter: root out of range");
+  const std::uint64_t tag = next_tag();
+  stats().record_collective("scatter",
+                            static_cast<std::int64_t>(local.size() * sizeof(float)) * g);
+  if (grank_ == root) {
+    check(in.size() == local.size() * static_cast<std::size_t>(g),
+          "scatter: input must be size() * local chunk");
+    for (int r = 0; r < g; ++r) {
+      if (r == root) continue;
+      send_msg(r, tag, in.data() + static_cast<std::ptrdiff_t>(r) *
+                                       static_cast<std::ptrdiff_t>(local.size()),
+               static_cast<std::int64_t>(local.size()),
+               static_cast<std::int64_t>(local.size() * sizeof(float)));
+    }
+    std::copy(in.begin() + static_cast<std::ptrdiff_t>(root * local.size()),
+              in.begin() + static_cast<std::ptrdiff_t>((root + 1) * local.size()),
+              local.begin());
+  } else {
+    Message m = recv_msg(root, tag);
+    check(m.payload != nullptr && m.payload->size() == local.size(),
+          "scatter: chunk size mismatch");
+    std::copy(m.payload->begin(), m.payload->end(), local.begin());
+  }
+}
+
+void Communicator::all_to_all(std::span<const float> in, std::span<float> out) {
+  TraceSpan span(this, "all_to_all");
+  const int g = size();
+  check(in.size() == out.size() && in.size() % static_cast<std::size_t>(g) == 0,
+        "all_to_all: sizes must match and divide the group size");
+  const std::size_t chunk = in.size() / static_cast<std::size_t>(g);
+  stats().record_collective("all_to_all",
+                            static_cast<std::int64_t>(in.size() * sizeof(float)));
+  const std::uint64_t tag = next_tag();
+  std::copy(in.begin() + static_cast<std::ptrdiff_t>(grank_ * chunk),
+            in.begin() + static_cast<std::ptrdiff_t>((grank_ + 1) * chunk),
+            out.begin() + static_cast<std::ptrdiff_t>(grank_ * chunk));
+  // Pairwise exchange: at step s, send to rank+s and receive from rank-s.
+  for (int s = 1; s < g; ++s) {
+    const int dst = (grank_ + s) % g;
+    const int src = (grank_ - s + g) % g;
+    send_msg(dst, tag, in.data() + static_cast<std::ptrdiff_t>(dst) *
+                                       static_cast<std::ptrdiff_t>(chunk),
+             static_cast<std::int64_t>(chunk),
+             static_cast<std::int64_t>(chunk * sizeof(float)));
+    Message m = recv_msg(src, tag);
+    check(m.payload != nullptr && m.payload->size() == chunk,
+          "all_to_all: chunk size mismatch");
+    std::copy(m.payload->begin(), m.payload->end(),
+              out.begin() + static_cast<std::ptrdiff_t>(src) *
+                                static_cast<std::ptrdiff_t>(chunk));
+  }
+}
+
+void Communicator::phantom_sendrecv(int dst, int src, std::int64_t bytes) {
+  TraceSpan span(this, "sendrecv");
+  const std::uint64_t tag = next_tag();
+  stats().record_collective("sendrecv", bytes);
+  send_msg(dst, tag, nullptr, 0, bytes);
+  (void)recv_msg(src, tag);
+}
+
+}  // namespace tsr::comm

@@ -1,0 +1,245 @@
+// NCCL/MPI-style communicator over the virtual cluster.
+//
+// A World owns the per-rank mailboxes, simulated clocks and statistics for a
+// cluster of N ranks; a Communicator is a rank's handle onto an ordered
+// group of world ranks. Collectives are implemented with the classic
+// algorithms (binomial trees for broadcast/reduce, rings for all-reduce /
+// all-gather / reduce-scatter, dissemination barrier), so both the byte
+// counters and the emergent simulated time have the same structure as a real
+// NCCL schedule on the paper's testbed.
+//
+// Every collective also has a *phantom* twin that sends the identical
+// message pattern with empty payloads while charging a declared byte count.
+// The benchmark harness uses phantoms to replay paper-scale (h = 3072...8192)
+// schedules exactly — same trees, same rings, same per-link alpha-beta costs —
+// without allocating paper-scale tensors.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "comm/mailbox.hpp"
+#include "comm/stats.hpp"
+#include "runtime/sim_clock.hpp"
+#include "tensor/tensor.hpp"
+#include "topology/machine_spec.hpp"
+
+namespace tsr::comm {
+
+enum class ReduceOp { Sum, Max };
+
+class Communicator;
+
+/// One span on a rank's simulated timeline (a collective, a GEMM, ...).
+struct TraceEvent {
+  const char* name;  // static strings only (collective/kernel names)
+  double t0 = 0.0;   // simulated seconds
+  double t1 = 0.0;
+};
+
+/// Shared state of one virtual cluster: mailboxes, clocks, stats, machine.
+class World {
+ public:
+  explicit World(int nranks,
+                 topo::MachineSpec spec = topo::MachineSpec::zero_cost());
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  int size() const { return nranks_; }
+  const topo::MachineSpec& spec() const { return spec_; }
+
+  Mailbox& mailbox(int rank) { return *mailboxes_[static_cast<std::size_t>(rank)]; }
+  rt::SimClock& clock(int rank) { return clocks_[static_cast<std::size_t>(rank)]; }
+  CommStats& stats(int rank) { return stats_[static_cast<std::size_t>(rank)]; }
+
+  /// World communicator (all ranks) for the given rank.
+  Communicator comm(int rank);
+
+  /// Largest simulated clock across ranks: the makespan of the run so far.
+  double max_sim_time() const;
+  void reset_clocks();
+  void reset_stats();
+  /// Sum of all ranks' statistics.
+  CommStats total_stats() const;
+
+  /// Wakes every blocked receiver with an error (peer-failure handling).
+  void poison(const std::string& why);
+
+  // ---- Simulated-timeline tracing -----------------------------------------
+  // When enabled, every collective and charged kernel records a span on its
+  // rank's simulated clock; write_chrome_trace() dumps the whole cluster
+  // timeline in the chrome://tracing / Perfetto JSON format — pipeline
+  // bubbles, SUMMA broadcast waves and all-reduce rings become visible.
+
+  void enable_tracing() { tracing_ = true; }
+  bool tracing() const { return tracing_; }
+  /// Appends a span to `rank`'s timeline (called by the rank's own thread).
+  void record_span(int rank, const char* name, double t0, double t1);
+  const std::vector<TraceEvent>& trace(int rank) const {
+    return traces_[static_cast<std::size_t>(rank)];
+  }
+  /// Writes the Chrome trace-event JSON; returns false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+  /// Runs fn on every rank via the SPMD cluster; if a rank throws, the world
+  /// is poisoned so peers blocked in collectives unwind, and the original
+  /// exception is rethrown.
+  void run(const std::function<void(Communicator&)>& fn);
+
+ private:
+  int nranks_;
+  topo::MachineSpec spec_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<rt::SimClock> clocks_;
+  std::vector<CommStats> stats_;
+  bool tracing_ = false;
+  std::vector<std::vector<TraceEvent>> traces_;  // per rank, owner-written
+};
+
+/// A rank's handle on an ordered process group.
+///
+/// Cheap to copy. All group members must call each collective the same
+/// number of times in the same order (standard SPMD contract); internal
+/// sequence numbers derive matching message tags from that contract.
+class Communicator {
+ public:
+  /// Invalid communicator; must be assigned from World::comm / split /
+  /// subgroup before use. Exists so grid bundles can be value members.
+  Communicator() = default;
+
+  /// True once assigned from a real communicator.
+  bool valid() const { return world_ != nullptr; }
+
+  int rank() const { return grank_; }
+  int size() const { return static_cast<int>(group_->size()); }
+  int world_rank() const { return (*group_)[static_cast<std::size_t>(grank_)]; }
+  int world_rank_of(int grank) const {
+    return (*group_)[static_cast<std::size_t>(grank)];
+  }
+  const std::vector<int>& group() const { return *group_; }
+
+  World& world() const { return *world_; }
+  rt::SimClock& clock() const { return world_->clock(world_rank()); }
+  CommStats& stats() const { return world_->stats(world_rank()); }
+
+  // ---- Group construction ------------------------------------------------
+
+  /// MPI_Comm_split: collective over this communicator. Ranks with equal
+  /// `color` form a new group, ordered by (key, world rank).
+  Communicator split(int color, int key);
+
+  /// Deterministic local construction: every member passes the identical
+  /// `world_ranks` list (e.g. a row of the [q,q,d] grid). No communication.
+  /// The calling rank must appear in the list.
+  Communicator subgroup(const std::vector<int>& world_ranks) const;
+
+  // ---- Point-to-point ------------------------------------------------------
+
+  /// Buffered (non-rendezvous) send; `tag` is a user tag scoped to this
+  /// communicator. dst/src are group ranks.
+  void send(int dst, std::uint64_t tag, std::span<const float> data);
+  std::vector<float> recv(int src, std::uint64_t tag);
+  /// Simultaneous shift: sends to `dst` and receives from `src` (both group
+  /// ranks). Send is buffered, so exchanges cannot deadlock.
+  void sendrecv(int dst, std::span<const float> send_data, int src,
+                std::span<float> recv_data, std::uint64_t tag);
+
+  // ---- Collectives (in place) ---------------------------------------------
+
+  void barrier();
+  void broadcast(std::span<float> data, int root);
+  /// Reduces into `root`'s buffer. Non-root buffers are clobbered with
+  /// partial sums (documented MPI_IN_PLACE-style behaviour).
+  void reduce(std::span<float> data, int root, ReduceOp op = ReduceOp::Sum);
+  void all_reduce(std::span<float> data, ReduceOp op = ReduceOp::Sum);
+  /// Gathers equally-sized contributions: out.size() == size() * local.size().
+  void all_gather(std::span<const float> local, std::span<float> out);
+  /// data.size() == size() * out.size(); rank r receives reduced chunk r.
+  /// `data` is clobbered.
+  void reduce_scatter(std::span<float> data, std::span<float> out,
+                      ReduceOp op = ReduceOp::Sum);
+  void gather(std::span<const float> local, std::span<float> out, int root);
+  void scatter(std::span<const float> in, std::span<float> local, int root);
+  /// in/out sized size() * chunk; chunk for group rank r at offset r*chunk.
+  void all_to_all(std::span<const float> in, std::span<float> out);
+
+  // ---- Tensor conveniences --------------------------------------------------
+
+  void broadcast(Tensor& t, int root) { broadcast(t.span(), root); }
+  void all_reduce(Tensor& t, ReduceOp op = ReduceOp::Sum) {
+    all_reduce(t.span(), op);
+  }
+  void reduce(Tensor& t, int root, ReduceOp op = ReduceOp::Sum) {
+    reduce(t.span(), root, op);
+  }
+
+  // ---- Phantom collectives (timing + stats only) ---------------------------
+  // Identical message patterns with empty payloads and declared byte counts.
+
+  void phantom_broadcast(int root, std::int64_t bytes);
+  void phantom_reduce(int root, std::int64_t bytes);
+  void phantom_all_reduce(std::int64_t bytes);
+  void phantom_all_gather(std::int64_t bytes_per_rank);
+  void phantom_reduce_scatter(std::int64_t total_bytes);
+  void phantom_sendrecv(int dst, int src, std::int64_t bytes);
+
+ private:
+  friend class World;
+
+  Communicator(World* world, std::shared_ptr<const std::vector<int>> group,
+               int grank, std::uint32_t comm_id);
+
+  std::uint64_t next_tag();
+  std::uint64_t user_tag(std::uint64_t tag) const;
+
+  // Records [construction, destruction) of the enclosing collective as a
+  // span on this rank's simulated timeline when tracing is enabled.
+  struct TraceSpan {
+    Communicator* c;
+    const char* name;
+    double t0;
+    TraceSpan(Communicator* comm, const char* n)
+        : c(comm), name(n), t0(comm->clock().now()) {}
+    ~TraceSpan() {
+      if (c->world_->tracing()) {
+        c->world_->record_span(c->world_rank(), name, t0, c->clock().now());
+      }
+    }
+  };
+
+  // Wire primitives. data may be null (phantom); count is the float count
+  // carried (0 for phantom), wire_bytes the modeled size.
+  void send_msg(int dst_grank, std::uint64_t tag, const float* data,
+                std::int64_t count, std::int64_t wire_bytes);
+  Message recv_msg(int src_grank, std::uint64_t tag);
+
+  // Shared implementations of the real/phantom twins. For real calls,
+  // data != nullptr and wire bytes derive from counts; for phantom calls,
+  // data == nullptr and `total_bytes` drives the per-message sizes.
+  void broadcast_impl(float* data, std::int64_t count, std::int64_t total_bytes,
+                      int root);
+  void reduce_impl(float* data, std::int64_t count, std::int64_t total_bytes,
+                   int root, ReduceOp op);
+  void all_reduce_impl(float* data, std::int64_t count,
+                       std::int64_t total_bytes, ReduceOp op);
+  void all_gather_impl(const float* local, float* out, std::int64_t chunk_count,
+                       std::int64_t chunk_bytes);
+  void reduce_scatter_impl(float* data, float* out, std::int64_t chunk_count,
+                           std::int64_t chunk_bytes, ReduceOp op);
+
+  World* world_ = nullptr;
+  std::shared_ptr<const std::vector<int>> group_;
+  int grank_ = 0;
+  std::uint32_t comm_id_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+/// Accumulates src into dst according to op.
+void apply_reduce(ReduceOp op, float* dst, const float* src, std::int64_t n);
+
+}  // namespace tsr::comm

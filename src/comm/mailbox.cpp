@@ -1,0 +1,49 @@
+#include "comm/mailbox.hpp"
+
+#include <stdexcept>
+
+namespace tsr::comm {
+
+void Mailbox::push(Message msg) {
+  {
+    std::lock_guard lock(mu_);
+    queues_[{msg.src, msg.tag}].push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::pop(int src, std::uint64_t tag) {
+  std::unique_lock lock(mu_);
+  const Key key{src, tag};
+  cv_.wait(lock, [&] {
+    if (poisoned_) return true;
+    auto it = queues_.find(key);
+    return it != queues_.end() && !it->second.empty();
+  });
+  if (poisoned_) {
+    throw std::runtime_error("Mailbox poisoned: " + poison_reason_);
+  }
+  auto it = queues_.find(key);
+  Message msg = std::move(it->second.front());
+  it->second.pop_front();
+  if (it->second.empty()) queues_.erase(it);
+  return msg;
+}
+
+void Mailbox::poison(const std::string& why) {
+  {
+    std::lock_guard lock(mu_);
+    poisoned_ = true;
+    poison_reason_ = why;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [key, q] : queues_) n += q.size();
+  return n;
+}
+
+}  // namespace tsr::comm

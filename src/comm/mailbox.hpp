@@ -1,0 +1,61 @@
+// Point-to-point message transport between virtual ranks.
+//
+// Each rank owns one Mailbox (its inbox). A message is matched by
+// (source rank, tag) and delivered FIFO per sender — the ordering guarantee
+// MPI gives for a (source, tag, comm) triple. Payloads are float vectors
+// (every tensor in this library is float32); a message may instead be a
+// "phantom" (no payload) that exists only to move the simulated clock and
+// the byte counters, which is how the benchmark harness replays paper-scale
+// schedules without paper-scale memory.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tsr::comm {
+
+struct Message {
+  int src = 0;
+  std::uint64_t tag = 0;
+  /// Payload; null for phantom messages.
+  std::shared_ptr<std::vector<float>> payload;
+  /// Bytes this message represents on the wire (payload bytes for real
+  /// messages; the declared size for phantom messages).
+  std::int64_t wire_bytes = 0;
+  /// Simulated arrival time at the receiver.
+  double arrival_time = 0.0;
+};
+
+class Mailbox {
+ public:
+  /// Enqueues a message and wakes one waiting receiver.
+  void push(Message msg);
+
+  /// Blocks until a message from (src, tag) is available and returns it.
+  /// Throws std::runtime_error if the mailbox is poisoned while waiting.
+  Message pop(int src, std::uint64_t tag);
+
+  /// Wakes all waiting receivers with an error; used when a peer rank has
+  /// failed so blocked collectives do not deadlock the cluster.
+  void poison(const std::string& why);
+
+  /// Number of queued messages (for tests / leak checks).
+  std::size_t pending() const;
+
+ private:
+  using Key = std::pair<int, std::uint64_t>;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<Key, std::deque<Message>> queues_;
+  bool poisoned_ = false;
+  std::string poison_reason_;
+};
+
+}  // namespace tsr::comm

@@ -1,0 +1,32 @@
+#include "nn/dropout.hpp"
+
+#include "tensor/kernels.hpp"
+
+namespace tsr::nn {
+
+Dropout::Dropout(float p, std::uint64_t seed) : p_(p), seed_(seed) {
+  check(p >= 0.0f && p < 1.0f, "Dropout: p must be in [0, 1)");
+}
+
+Tensor Dropout::forward(const Tensor& x, bool train) {
+  if (!train || p_ == 0.0f) {
+    masked_last_forward_ = false;
+    return x;
+  }
+  masked_last_forward_ = true;
+  // One RNG stream per forward call: reproducible regardless of tensor size.
+  Rng rng(seed_, round_++);
+  mask_ = Tensor(x.shape());
+  const float scale = 1.0f / (1.0f - p_);
+  for (std::int64_t i = 0; i < x.numel(); ++i) {
+    mask_.data()[i] = rng.uniform() >= p_ ? scale : 0.0f;
+  }
+  return mul(x, mask_);
+}
+
+Tensor Dropout::backward(const Tensor& dy) {
+  if (!masked_last_forward_) return dy;
+  return mul(dy, mask_);
+}
+
+}  // namespace tsr::nn

@@ -1,0 +1,29 @@
+// Inverted dropout with a deterministic counter-based mask.
+#pragma once
+
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tsr::nn {
+
+/// Standard inverted dropout: keeps each element with probability 1-p and
+/// scales survivors by 1/(1-p). With p == 0 it is the identity (the default
+/// in this repository's training runs, which mirror the paper's exactness
+/// experiment where serial and distributed runs must match bitwise).
+class Dropout {
+ public:
+  explicit Dropout(float p, std::uint64_t seed = 0);
+
+  /// `train` == false bypasses the mask entirely.
+  Tensor forward(const Tensor& x, bool train = true);
+  Tensor backward(const Tensor& dy);
+
+ private:
+  float p_;
+  std::uint64_t seed_;
+  std::uint64_t round_ = 0;
+  Tensor mask_;  // scaled keep-mask from the last training forward
+  bool masked_last_forward_ = false;
+};
+
+}  // namespace tsr::nn

@@ -1,0 +1,151 @@
+#include "nn/embedding.hpp"
+
+#include <cstring>
+
+#include "tensor/init.hpp"
+#include "tensor/kernels.hpp"
+
+namespace tsr::nn {
+
+Embedding::Embedding(std::int64_t vocab, std::int64_t hidden, Rng& rng)
+    : table({vocab, hidden}) {
+  normal_init(table.value, rng, 0.0, 0.02);
+}
+
+Tensor Embedding::forward(std::span<const int> ids, std::int64_t batch) {
+  check(ids.size() % static_cast<std::size_t>(batch) == 0,
+        "Embedding::forward: id count not divisible by batch");
+  const std::int64_t s = static_cast<std::int64_t>(ids.size()) / batch;
+  const std::int64_t h = table.value.dim(1);
+  ids_cache_.assign(ids.begin(), ids.end());
+  Tensor out({batch, s, h});
+  for (std::size_t t = 0; t < ids.size(); ++t) {
+    const int id = ids[t];
+    check(id >= 0 && id < table.value.dim(0), "Embedding::forward: id out of range");
+    std::memcpy(out.data() + static_cast<std::int64_t>(t) * h,
+                table.value.data() + static_cast<std::int64_t>(id) * h,
+                static_cast<std::size_t>(h) * sizeof(float));
+  }
+  return out;
+}
+
+void Embedding::backward(const Tensor& dy) {
+  const std::int64_t h = table.value.dim(1);
+  check(dy.numel() == static_cast<std::int64_t>(ids_cache_.size()) * h,
+        "Embedding::backward: gradient size mismatch");
+  for (std::size_t t = 0; t < ids_cache_.size(); ++t) {
+    const int id = ids_cache_[t];
+    float* g = table.grad.data() + static_cast<std::int64_t>(id) * h;
+    const float* d = dy.data() + static_cast<std::int64_t>(t) * h;
+    for (std::int64_t e = 0; e < h; ++e) g[e] += d[e];
+  }
+}
+
+PatchEmbedding::PatchEmbedding(std::int64_t image_size, std::int64_t patch_size,
+                               std::int64_t channels, std::int64_t hidden,
+                               Rng& rng)
+    : proj(patch_size * patch_size * channels, hidden, rng),
+      cls({1, hidden}),
+      pos({1 + (image_size / patch_size) * (image_size / patch_size), hidden}),
+      image_size_(image_size),
+      patch_size_(patch_size),
+      channels_(channels),
+      patches_((image_size / patch_size) * (image_size / patch_size)) {
+  check(image_size % patch_size == 0,
+        "PatchEmbedding: image size must be divisible by patch size");
+  normal_init(cls.value, rng, 0.0, 0.02);
+  normal_init(pos.value, rng, 0.0, 0.02);
+}
+
+Tensor PatchEmbedding::patchify(const Tensor& images) const {
+  check(images.ndim() == 4 && images.dim(1) == channels_ &&
+            images.dim(2) == image_size_ && images.dim(3) == image_size_,
+        "PatchEmbedding: expected images [b, c, H, W]");
+  const std::int64_t b = images.dim(0);
+  const std::int64_t grid = image_size_ / patch_size_;
+  const std::int64_t pdim = patch_size_ * patch_size_ * channels_;
+  Tensor out({b * patches_, pdim});
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t py = 0; py < grid; ++py) {
+      for (std::int64_t px = 0; px < grid; ++px) {
+        float* dst = out.data() + ((bi * patches_) + py * grid + px) * pdim;
+        std::int64_t o = 0;
+        for (std::int64_t c = 0; c < channels_; ++c) {
+          for (std::int64_t y = 0; y < patch_size_; ++y) {
+            const float* src = images.data() +
+                               ((bi * channels_ + c) * image_size_ +
+                                py * patch_size_ + y) *
+                                   image_size_ +
+                               px * patch_size_;
+            for (std::int64_t x = 0; x < patch_size_; ++x) dst[o++] = src[x];
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor PatchEmbedding::forward(const Tensor& images) {
+  const std::int64_t b = images.dim(0);
+  batch_cache_ = b;
+  const std::int64_t h = hidden();
+  Tensor projected = proj.forward(patchify(images));  // [b*patches, h]
+  Tensor out({b, tokens(), h});
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    // Class token at position 0, then the projected patches; positional
+    // embeddings added to all tokens.
+    float* row0 = out.data() + bi * tokens() * h;
+    for (std::int64_t e = 0; e < h; ++e) {
+      row0[e] = cls.value.at(0, e) + pos.value.at(0, e);
+    }
+    for (std::int64_t t = 0; t < patches_; ++t) {
+      const float* src = projected.data() + (bi * patches_ + t) * h;
+      float* dst = row0 + (t + 1) * h;
+      for (std::int64_t e = 0; e < h; ++e) {
+        dst[e] = src[e] + pos.value.at(t + 1, e);
+      }
+    }
+  }
+  return out;
+}
+
+void PatchEmbedding::backward(const Tensor& dy) {
+  const std::int64_t b = batch_cache_;
+  const std::int64_t h = hidden();
+  check(dy.ndim() == 3 && dy.dim(0) == b && dy.dim(1) == tokens() &&
+            dy.dim(2) == h,
+        "PatchEmbedding::backward: gradient shape mismatch");
+  Tensor dproj({b * patches_, h});
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    const float* row0 = dy.data() + bi * tokens() * h;
+    for (std::int64_t e = 0; e < h; ++e) {
+      cls.grad.at(0, e) += row0[e];
+      pos.grad.at(0, e) += row0[e];
+    }
+    for (std::int64_t t = 0; t < patches_; ++t) {
+      const float* src = row0 + (t + 1) * h;
+      float* dst = dproj.data() + (bi * patches_ + t) * h;
+      for (std::int64_t e = 0; e < h; ++e) {
+        dst[e] = src[e];
+        pos.grad.at(t + 1, e) += src[e];
+      }
+    }
+  }
+  (void)proj.backward(dproj);  // image gradient discarded
+}
+
+void PatchEmbedding::zero_grad() {
+  proj.zero_grad();
+  cls.zero_grad();
+  pos.zero_grad();
+}
+
+std::vector<Param*> PatchEmbedding::params() {
+  std::vector<Param*> p = proj.params();
+  p.push_back(&cls);
+  p.push_back(&pos);
+  return p;
+}
+
+}  // namespace tsr::nn

@@ -1,0 +1,64 @@
+// Input embeddings: token lookup (language models) and patch embedding with
+// class token + learned positions (Vision Transformer, paper Section 4.3).
+#pragma once
+
+#include <span>
+
+#include "nn/linear.hpp"
+#include "nn/param.hpp"
+#include "tensor/rng.hpp"
+
+namespace tsr::nn {
+
+/// Token-id lookup table.
+class Embedding {
+ public:
+  Embedding(std::int64_t vocab, std::int64_t hidden, Rng& rng);
+
+  /// ids: b*s token indices -> [b, s, h].
+  Tensor forward(std::span<const int> ids, std::int64_t batch);
+  /// Accumulates into table.grad (no input gradient for ids).
+  void backward(const Tensor& dy);
+
+  void zero_grad() { table.zero_grad(); }
+  std::vector<Param*> params() { return {&table}; }
+
+  Param table;  ///< [vocab, h]
+
+ private:
+  std::vector<int> ids_cache_;
+};
+
+/// Non-overlapping patch extraction + linear projection + class token +
+/// learned positional embedding: images [b, c, H, W] -> tokens
+/// [b, 1 + (H/P)*(W/P), h].
+class PatchEmbedding {
+ public:
+  PatchEmbedding(std::int64_t image_size, std::int64_t patch_size,
+                 std::int64_t channels, std::int64_t hidden, Rng& rng);
+
+  Tensor forward(const Tensor& images);
+  /// Accumulates parameter gradients; the image gradient is not needed.
+  void backward(const Tensor& dy);
+
+  std::int64_t tokens() const { return 1 + patches_; }
+  std::int64_t hidden() const { return proj.out_features(); }
+
+  void zero_grad();
+  std::vector<Param*> params();
+
+  Linear proj;     ///< [P*P*c, h]
+  Param cls;       ///< [1, h] class token
+  Param pos;       ///< [1 + patches, h] positional embedding
+
+ private:
+  Tensor patchify(const Tensor& images) const;  // [b*patches, P*P*c]
+
+  std::int64_t image_size_;
+  std::int64_t patch_size_;
+  std::int64_t channels_;
+  std::int64_t patches_;
+  std::int64_t batch_cache_ = 0;
+};
+
+}  // namespace tsr::nn

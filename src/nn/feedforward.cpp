@@ -1,0 +1,27 @@
+#include "nn/feedforward.hpp"
+
+namespace tsr::nn {
+
+FeedForward::FeedForward(std::int64_t hidden, Rng& rng, std::int64_t expansion)
+    : fc1(hidden, expansion * hidden, rng), fc2(expansion * hidden, hidden, rng) {}
+
+Tensor FeedForward::forward(const Tensor& x) {
+  return fc2.forward(act_.forward(fc1.forward(x)));
+}
+
+Tensor FeedForward::backward(const Tensor& dy) {
+  return fc1.backward(act_.backward(fc2.backward(dy)));
+}
+
+void FeedForward::zero_grad() {
+  fc1.zero_grad();
+  fc2.zero_grad();
+}
+
+std::vector<Param*> FeedForward::params() {
+  std::vector<Param*> p = fc1.params();
+  for (Param* q : fc2.params()) p.push_back(q);
+  return p;
+}
+
+}  // namespace tsr::nn

@@ -1,0 +1,28 @@
+// Transformer MLP block: Linear(h -> 4h) -> GELU -> Linear(4h -> h)
+// (paper Section 3.2.1, "feed forward layer").
+#pragma once
+
+#include "nn/activation.hpp"
+#include "nn/linear.hpp"
+
+namespace tsr::nn {
+
+class FeedForward {
+ public:
+  /// `expansion` defaults to the paper's 4x.
+  FeedForward(std::int64_t hidden, Rng& rng, std::int64_t expansion = 4);
+
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& dy);
+
+  void zero_grad();
+  std::vector<Param*> params();
+
+  Linear fc1;  ///< [h, expansion*h]
+  Linear fc2;  ///< [expansion*h, h]
+
+ private:
+  Gelu act_;
+};
+
+}  // namespace tsr::nn

@@ -1,0 +1,48 @@
+#include "nn/linear.hpp"
+
+#include "tensor/gemm.hpp"
+#include "tensor/init.hpp"
+#include "tensor/kernels.hpp"
+
+namespace tsr::nn {
+
+Linear::Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+               bool with_bias)
+    : w({in_features, out_features}), has_bias_(with_bias) {
+  xavier_uniform(w.value, rng);
+  if (has_bias_) b = Param({out_features});
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  check(x.dim(-1) == in_features(), "Linear::forward: feature mismatch");
+  x_cache_ = x;
+  Tensor y = matmul(x.as_matrix(), w.value);
+  if (has_bias_) add_bias(y, b.value);
+  Shape out_shape = x.shape();
+  out_shape.back() = out_features();
+  return y.reshape(std::move(out_shape));
+}
+
+Tensor Linear::backward(const Tensor& dy) {
+  check(dy.dim(-1) == out_features(), "Linear::backward: feature mismatch");
+  check(!x_cache_.empty(), "Linear::backward: forward() not called");
+  const Tensor dym = dy.as_matrix();
+  const Tensor xm = x_cache_.as_matrix();
+  matmul_acc(xm, dym, w.grad, Trans::T, Trans::N);
+  if (has_bias_) axpy(1.0f, bias_grad(dym), b.grad);
+  Tensor dx = matmul(dym, w.value, Trans::N, Trans::T);
+  return dx.reshape(x_cache_.shape());
+}
+
+void Linear::zero_grad() {
+  w.zero_grad();
+  if (has_bias_) b.zero_grad();
+}
+
+std::vector<Param*> Linear::params() {
+  std::vector<Param*> p{&w};
+  if (has_bias_) p.push_back(&b);
+  return p;
+}
+
+}  // namespace tsr::nn

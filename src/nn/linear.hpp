@@ -1,0 +1,38 @@
+// Fully-connected layer with explicit forward/backward.
+#pragma once
+
+#include "nn/param.hpp"
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tsr::nn {
+
+/// y = x W + b, with x [..., in] and W [in, out].
+///
+/// backward() accumulates into w.grad / b.grad (call zero_grad() between
+/// optimizer steps) and returns dL/dx with the input's shape.
+class Linear {
+ public:
+  /// Xavier-initialized weight, zero bias (bias optional).
+  Linear(std::int64_t in_features, std::int64_t out_features, Rng& rng,
+         bool with_bias = true);
+
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& dy);
+
+  std::int64_t in_features() const { return w.value.dim(0); }
+  std::int64_t out_features() const { return w.value.dim(1); }
+  bool has_bias() const { return has_bias_; }
+
+  void zero_grad();
+  std::vector<Param*> params();
+
+  Param w;  ///< [in, out]
+  Param b;  ///< [out] (empty when bias disabled)
+
+ private:
+  bool has_bias_;
+  Tensor x_cache_;  // saved input for the backward pass
+};
+
+}  // namespace tsr::nn

@@ -1,0 +1,50 @@
+#include "nn/loss.hpp"
+
+#include <cmath>
+
+#include "nn/softmax.hpp"
+
+namespace tsr::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const int> targets) {
+  check(logits.ndim() == 2, "softmax_cross_entropy: logits must be [b, classes]");
+  const std::int64_t b = logits.dim(0);
+  const std::int64_t k = logits.dim(1);
+  check(static_cast<std::int64_t>(targets.size()) == b,
+        "softmax_cross_entropy: target count mismatch");
+  Tensor probs = softmax(logits);
+  LossResult res;
+  res.dlogits = probs.clone();
+  double loss = 0.0;
+  for (std::int64_t i = 0; i < b; ++i) {
+    const int t = targets[static_cast<std::size_t>(i)];
+    check(t >= 0 && t < k, "softmax_cross_entropy: target out of range");
+    const float p = probs.at(i, t);
+    loss -= std::log(std::max(p, 1e-12f));
+    res.dlogits.at(i, t) -= 1.0f;
+  }
+  const float inv_b = 1.0f / static_cast<float>(b);
+  for (std::int64_t i = 0; i < res.dlogits.numel(); ++i) {
+    res.dlogits.data()[i] *= inv_b;
+  }
+  res.loss = static_cast<float>(loss) * inv_b;
+  return res;
+}
+
+LossResult mse_loss(const Tensor& pred, const Tensor& target) {
+  check(pred.numel() == target.numel(), "mse_loss: size mismatch");
+  LossResult res;
+  res.dlogits = Tensor(pred.shape());
+  double loss = 0.0;
+  const float inv_n = 1.0f / static_cast<float>(pred.numel());
+  for (std::int64_t i = 0; i < pred.numel(); ++i) {
+    const float d = pred.data()[i] - target.data()[i];
+    loss += static_cast<double>(d) * d;
+    res.dlogits.data()[i] = 2.0f * d * inv_n;
+  }
+  res.loss = static_cast<float>(loss) * inv_n;
+  return res;
+}
+
+}  // namespace tsr::nn

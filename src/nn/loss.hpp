@@ -1,0 +1,22 @@
+// Classification loss.
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace tsr::nn {
+
+struct LossResult {
+  float loss = 0.0f;  ///< mean cross-entropy over the batch
+  Tensor dlogits;     ///< gradient w.r.t. the logits, already / batch
+};
+
+/// Softmax cross-entropy: logits [b, classes], targets b class indices.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 std::span<const int> targets);
+
+/// Mean squared error: pred and target of equal shape. dpred = 2(p-t)/N.
+LossResult mse_loss(const Tensor& pred, const Tensor& target);
+
+}  // namespace tsr::nn

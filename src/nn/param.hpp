@@ -1,0 +1,20 @@
+// Trainable parameter: value + gradient accumulator.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace tsr::nn {
+
+struct Param {
+  Tensor value;
+  Tensor grad;
+
+  Param() = default;
+  explicit Param(Shape shape)
+      : value(Tensor::zeros(shape)), grad(Tensor::zeros(std::move(shape))) {}
+
+  void zero_grad() { grad.fill(0.0f); }
+  std::int64_t numel() const { return value.numel(); }
+};
+
+}  // namespace tsr::nn

@@ -1,0 +1,15 @@
+// Numerically-stable softmax over the last dimension.
+#pragma once
+
+#include "tensor/tensor.hpp"
+
+namespace tsr::nn {
+
+/// Softmax along the last dimension (max-subtracted for stability).
+Tensor softmax(const Tensor& x);
+
+/// Backward pass: given the forward OUTPUT y and upstream dy,
+/// dx = y * (dy - sum(dy * y, lastdim)).
+Tensor softmax_backward(const Tensor& y, const Tensor& dy);
+
+}  // namespace tsr::nn

@@ -1,0 +1,40 @@
+// Distribution of activations and weights onto the [q, q, d] grid, plus the
+// head-blocked QKV layout conversion shared by the Tesseract and Megatron
+// attention layers.
+#pragma once
+
+#include "nn/param.hpp"
+#include "pdgemm/block.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tsr::par {
+
+/// Splits an activation tensor [b, s, h] into this rank's local shard
+/// [b/(d*q), s, h/q] (paper Section 3.2.1): the batch dimension is cut into
+/// d*q slices indexed by (i + k*q) and the hidden dimension into q slices
+/// indexed by j. Requires exact divisibility.
+Tensor distribute_activation(const pdg::TesseractComms& tc, const Tensor& full);
+
+/// Inverse of distribute_activation: all-gathers the shards and returns the
+/// full [b, s, h] tensor on every rank.
+Tensor collect_activation(pdg::TesseractComms& tc, const Tensor& local,
+                          std::int64_t b, std::int64_t s, std::int64_t h);
+
+/// Data-parallel gradient synchronization (paper Section 3.4 / Fig. 6):
+/// all-reduces every parameter's gradient across `dp_group` (the ranks
+/// holding the same shard in different replicas) and divides by the group
+/// size, so per-replica optimizers apply the averaged batch gradient.
+void all_reduce_gradients(comm::Communicator& dp_group,
+                          const std::vector<nn::Param*>& params,
+                          bool average = true);
+
+/// Reorders the columns of a fused QKV weight [h, 3h] (or bias [3h]) from
+/// the serial layout [Q | K | V] into the block layout
+/// [Q_0 K_0 V_0 | Q_1 K_1 V_1 | ...] with `blocks` groups, where Q_j holds
+/// the query columns of the heads assigned to block j. With this layout a
+/// 1/blocks column shard contains complete heads, which is what makes the
+/// attention score computation communication-free in both Megatron-LM and
+/// Tesseract. `heads` must be divisible by `blocks`.
+Tensor qkv_blocked_layout(const Tensor& fused, int blocks, std::int64_t heads);
+
+}  // namespace tsr::par

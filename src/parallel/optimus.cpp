@@ -1,0 +1,10 @@
+// Optimus is the d = 1 instantiation of the Tesseract layers (see header);
+// this translation unit only anchors the module in the build.
+#include "parallel/optimus.hpp"
+
+namespace tsr::par {
+
+static_assert(sizeof(OptimusContext) == sizeof(TesseractContext),
+              "OptimusContext adds no state beyond the Tesseract context");
+
+}  // namespace tsr::par

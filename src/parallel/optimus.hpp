@@ -1,0 +1,36 @@
+// Optimus — the 2-D (SUMMA-based) tensor parallelism of Xu et al. 2021,
+// the paper's 2-D baseline.
+//
+// The paper observes (Section 3.1) that Tesseract with depth d = 1 *is* the
+// 2-D SUMMA scheme: one [q, q] layer, activations split [b/q, s, h/q],
+// weights split [h/q, ../q]. Optimus is therefore provided as the d = 1
+// instantiation of the Tesseract layers, under its own names so benchmarks
+// and examples read like the paper's tables. Communication-wise this is
+// faithful: with d = 1 the depth groups are singletons and every depth
+// collective is a no-op.
+#pragma once
+
+#include "parallel/tesseract_attention.hpp"
+#include "parallel/tesseract_feedforward.hpp"
+#include "parallel/tesseract_layernorm.hpp"
+#include "parallel/tesseract_linear.hpp"
+#include "parallel/tesseract_transformer.hpp"
+
+namespace tsr::par {
+
+/// Context of a [q, q] Optimus grid: a Tesseract context with depth 1.
+class OptimusContext : public TesseractContext {
+ public:
+  /// `parent` must have exactly q*q ranks (row-major).
+  OptimusContext(comm::Communicator& parent, int q)
+      : TesseractContext(parent, q, /*d=*/1) {}
+};
+
+using OptimusLinear = TesseractLinear;
+using OptimusLayerNorm = TesseractLayerNorm;
+using OptimusFeedForward = TesseractFeedForward;
+using OptimusAttention = TesseractAttention;
+using OptimusTransformerLayer = TesseractTransformerLayer;
+using OptimusTransformer = TesseractTransformer;
+
+}  // namespace tsr::par

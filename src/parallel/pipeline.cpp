@@ -1,0 +1,145 @@
+#include "parallel/pipeline.hpp"
+
+namespace tsr::par {
+namespace {
+
+// Per-micro tags on the pipeline group; forward and backward streams kept
+// apart. Micro indices are < 2^30 in any sane configuration.
+std::uint64_t fwd_tag(int micro) { return static_cast<std::uint64_t>(micro) * 2; }
+std::uint64_t bwd_tag(int micro) {
+  return static_cast<std::uint64_t>(micro) * 2 + 1;
+}
+
+}  // namespace
+
+TesseractPipeline::TesseractPipeline(comm::Communicator& parent,
+                                     const PipelineConfig& cfg, Rng& rng)
+    : cfg_(cfg), all_(parent) {
+  check(parent.size() == cfg.total_ranks(),
+        "TesseractPipeline: parent must have stages * q*q*d ranks");
+  check(cfg.micro_batch % (cfg.d * cfg.q) == 0,
+        "TesseractPipeline: micro batch must divide d*q");
+  const int gsize = cfg.ranks_per_stage();
+  stage_ = parent.rank() / gsize;
+
+  // Stage communicator: the contiguous block of ranks of my stage.
+  std::vector<int> stage_ranks;
+  stage_ranks.reserve(static_cast<std::size_t>(gsize));
+  for (int r = 0; r < gsize; ++r) {
+    stage_ranks.push_back(parent.world_rank_of(stage_ * gsize + r));
+  }
+  comm::Communicator stage_comm = parent.subgroup(stage_ranks);
+  ctx_ = std::make_unique<TesseractContext>(stage_comm, cfg.q, cfg.d);
+
+  // Draw ALL stages' layers in serial order so the RNG stream matches a
+  // serial stack; keep only this stage's slice. (Weight draws depend only on
+  // the full matrix shapes, not on the grid, so every rank draws the same
+  // sequence.)
+  const int total_layers = cfg.stages * cfg.layers_per_stage;
+  for (int l = 0; l < total_layers; ++l) {
+    auto layer = std::make_unique<TesseractTransformerLayer>(
+        *ctx_, cfg.hidden, cfg.heads, rng, cfg.ffn_expansion);
+    if (l / cfg.layers_per_stage == stage_) {
+      layers_.push_back(std::move(layer));
+    }
+  }
+  layer_inputs_.resize(layers_.size());
+}
+
+Shape TesseractPipeline::local_shape() const {
+  return Shape{cfg_.micro_batch / (cfg_.d * cfg_.q), cfg_.seq,
+               cfg_.hidden / cfg_.q};
+}
+
+std::vector<Tensor> TesseractPipeline::forward(
+    const std::vector<Tensor>& micro_inputs) {
+  const int micros = static_cast<int>(micro_inputs.size());
+  const int gsize = cfg_.ranks_per_stage();
+  std::vector<Tensor> outputs(static_cast<std::size_t>(micros));
+  for (int m = 0; m < micros; ++m) {
+    Tensor x;
+    if (is_first_stage()) {
+      x = micro_inputs[static_cast<std::size_t>(m)];
+      check(x.shape() == local_shape(),
+            "TesseractPipeline::forward: micro input shard shape mismatch");
+    } else {
+      std::vector<float> buf = all_.recv(all_.rank() - gsize, fwd_tag(m));
+      x = Tensor::from(std::move(buf), local_shape());
+    }
+    for (std::size_t l = 0; l < layers_.size(); ++l) {
+      if (cfg_.activation_checkpointing) {
+        layer_inputs_[l].push_back(x);
+        x = layers_[l]->forward(x);
+        layers_[l]->clear_caches();
+      } else {
+        x = layers_[l]->forward(x);
+      }
+    }
+    if (is_last_stage()) {
+      outputs[static_cast<std::size_t>(m)] = std::move(x);
+    } else {
+      all_.send(all_.rank() + gsize, fwd_tag(m), x.span());
+    }
+  }
+  return outputs;
+}
+
+std::vector<Tensor> TesseractPipeline::backward(
+    const std::vector<Tensor>& micro_grads) {
+  const int micros = static_cast<int>(micro_grads.size());
+  const int gsize = cfg_.ranks_per_stage();
+  std::vector<Tensor> input_grads(static_cast<std::size_t>(micros));
+  // Reverse micro order: pops the layers' cache stacks LIFO.
+  for (int m = micros - 1; m >= 0; --m) {
+    Tensor dy;
+    if (is_last_stage()) {
+      dy = micro_grads[static_cast<std::size_t>(m)];
+      check(dy.shape() == local_shape(),
+            "TesseractPipeline::backward: micro grad shard shape mismatch");
+    } else {
+      std::vector<float> buf = all_.recv(all_.rank() + gsize, bwd_tag(m));
+      dy = Tensor::from(std::move(buf), local_shape());
+    }
+    for (std::size_t l = layers_.size(); l-- > 0;) {
+      if (cfg_.activation_checkpointing) {
+        check(!layer_inputs_[l].empty(),
+              "TesseractPipeline::backward: no checkpointed input");
+        Tensor x = std::move(layer_inputs_[l].back());
+        layer_inputs_[l].pop_back();
+        (void)layers_[l]->forward(x);  // recompute (cost is real)
+      }
+      dy = layers_[l]->backward(dy);
+    }
+    if (is_first_stage()) {
+      input_grads[static_cast<std::size_t>(m)] = std::move(dy);
+    } else {
+      all_.send(all_.rank() - gsize, bwd_tag(m), dy.span());
+    }
+  }
+  return input_grads;
+}
+
+std::int64_t TesseractPipeline::cached_bytes() const {
+  std::int64_t n = 0;
+  for (const auto& layer : layers_) n += layer->cached_bytes();
+  for (const auto& stack : layer_inputs_) {
+    for (const Tensor& t : stack) {
+      n += t.numel() * static_cast<std::int64_t>(sizeof(float));
+    }
+  }
+  return n;
+}
+
+void TesseractPipeline::zero_grad() {
+  for (auto& layer : layers_) layer->zero_grad();
+}
+
+std::vector<nn::Param*> TesseractPipeline::params() {
+  std::vector<nn::Param*> p;
+  for (auto& layer : layers_) {
+    for (nn::Param* q : layer->params()) p.push_back(q);
+  }
+  return p;
+}
+
+}  // namespace tsr::par

@@ -1,0 +1,95 @@
+// Pipeline parallelism over Tesseract groups (paper Section 3.4, Fig. 6).
+//
+// The paper's hybrid arrangement stacks data parallelism x pipeline
+// parallelism x Tesseract: "The number of total GPU involved will be 32,
+// equals to data parallel size times pipeline parallel size times tesseract
+// depth times square of tesseract dimension." This module provides the
+// pipeline axis: a GPipe-style schedule in which each stage owns a
+// contiguous slice of the encoder layers on its own [q, q, d] Tesseract
+// grid, micro-batches flow forward stage to stage (each rank exchanging its
+// activation SHARD with the same-coordinate rank of the neighbour stage),
+// and backward runs the micro-batches in reverse order — matching the LIFO
+// cache stacks of the Tesseract layers.
+//
+// Because sends are buffered and the simulated clocks advance independently,
+// the virtual-cluster timeline exhibits real pipelining: stage 0 is working
+// on micro-batch i+1 while stage 1 processes micro-batch i, and the GPipe
+// bubble is visible in the per-rank simulated times.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "parallel/tesseract_transformer.hpp"
+
+namespace tsr::par {
+
+struct PipelineConfig {
+  int stages = 1;            ///< pipeline parallel size
+  int layers_per_stage = 1;  ///< encoder layers owned by each stage
+  int q = 1;                 ///< Tesseract dimension within each stage
+  int d = 1;                 ///< Tesseract depth within each stage
+  std::int64_t micro_batch = 0;  ///< sequences per micro-batch (global)
+  std::int64_t seq = 0;
+  std::int64_t hidden = 0;
+  std::int64_t heads = 0;
+  std::int64_t ffn_expansion = 4;
+  /// Keep only per-layer inputs during the forward sweep and recompute
+  /// internal activations in backward — GPipe's standard companion, since
+  /// the schedule holds `micros` forwards in flight per stage.
+  bool activation_checkpointing = false;
+
+  int ranks_per_stage() const { return q * q * d; }
+  int total_ranks() const { return stages * ranks_per_stage(); }
+};
+
+/// One rank's view of the pipelined Tesseract Transformer.
+///
+/// `parent` must have exactly cfg.total_ranks() ranks: stage s owns group
+/// ranks [s * q*q*d, (s+1) * q*q*d), each stage laid out depth-major like a
+/// plain Tesseract grid. Weight initialization consumes the same RNG draws
+/// as a serial stack of stages*layers_per_stage encoder layers, so a serial
+/// model built from an equal seed is the exact reference.
+class TesseractPipeline {
+ public:
+  TesseractPipeline(comm::Communicator& parent, const PipelineConfig& cfg,
+                    Rng& rng);
+
+  int stage() const { return stage_; }
+  bool is_first_stage() const { return stage_ == 0; }
+  bool is_last_stage() const { return stage_ == cfg_.stages - 1; }
+  TesseractContext& context() { return *ctx_; }
+
+  /// GPipe forward sweep over `micro_inputs` (local activation shards
+  /// [mb/(d*q), s, h/q]; only read on the first stage — later stages may
+  /// pass an empty vector of the right length). Returns the per-micro
+  /// outputs on the LAST stage; empty tensors elsewhere.
+  std::vector<Tensor> forward(const std::vector<Tensor>& micro_inputs);
+
+  /// Backward sweep in reverse micro order. `micro_grads` are the local
+  /// output-gradient shards, read on the last stage only. Returns per-micro
+  /// input gradients on the FIRST stage; empty tensors elsewhere.
+  std::vector<Tensor> backward(const std::vector<Tensor>& micro_grads);
+
+  void zero_grad();
+  std::vector<nn::Param*> params();
+  std::vector<std::unique_ptr<TesseractTransformerLayer>>& layers() {
+    return layers_;
+  }
+  /// Bytes of forward caches (and checkpoint snapshots) currently in flight.
+  std::int64_t cached_bytes() const;
+
+ private:
+  Shape local_shape() const;
+
+  PipelineConfig cfg_;
+  comm::Communicator all_;  ///< the whole pipeline group
+  int stage_;
+  std::unique_ptr<TesseractContext> ctx_;
+  std::vector<std::unique_ptr<TesseractTransformerLayer>> layers_;
+  // Per-layer LIFO of input snapshots (checkpointing mode): micros stack in
+  // forward order and pop in the backward sweep's reverse order.
+  std::vector<std::vector<Tensor>> layer_inputs_;
+};
+
+}  // namespace tsr::par

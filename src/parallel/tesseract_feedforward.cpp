@@ -1,0 +1,45 @@
+#include "parallel/tesseract_feedforward.hpp"
+
+namespace tsr::par {
+
+TesseractFeedForward::TesseractFeedForward(TesseractContext& ctx,
+                                           std::int64_t hidden, Rng& rng,
+                                           std::int64_t expansion)
+    : fc1(ctx, hidden, expansion * hidden, rng),
+      fc2(ctx, expansion * hidden, hidden, rng),
+      ctx_(&ctx) {}
+
+Tensor TesseractFeedForward::forward(const Tensor& x_local) {
+  Tensor h = act_.forward(fc1.forward(x_local));
+  ctx_->charge_memory(h.numel() * static_cast<std::int64_t>(sizeof(float)));
+  return fc2.forward(h);
+}
+
+Tensor TesseractFeedForward::backward(const Tensor& dy_local) {
+  Tensor dh = act_.backward(fc2.backward(dy_local));
+  ctx_->charge_memory(dh.numel() * static_cast<std::int64_t>(sizeof(float)));
+  return fc1.backward(dh);
+}
+
+void TesseractFeedForward::clear_caches() {
+  fc1.clear_caches();
+  fc2.clear_caches();
+  act_.clear_caches();
+}
+
+std::int64_t TesseractFeedForward::cached_bytes() const {
+  return fc1.cached_bytes() + fc2.cached_bytes() + act_.cached_bytes();
+}
+
+void TesseractFeedForward::zero_grad() {
+  fc1.zero_grad();
+  fc2.zero_grad();
+}
+
+std::vector<nn::Param*> TesseractFeedForward::params() {
+  std::vector<nn::Param*> p = fc1.params();
+  for (nn::Param* q : fc2.params()) p.push_back(q);
+  return p;
+}
+
+}  // namespace tsr::par

@@ -1,0 +1,79 @@
+#include "parallel/zero.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "tensor/tensor.hpp"
+
+namespace tsr::par {
+
+ZeroAdam::ZeroAdam(comm::Communicator dp_group, float lr_in, float beta1,
+                   float beta2, float eps, float weight_decay)
+    : lr(lr_in), dp_(std::move(dp_group)), beta1_(beta1), beta2_(beta2),
+      eps_(eps), weight_decay_(weight_decay) {}
+
+void ZeroAdam::step(const std::vector<nn::Param*>& params) {
+  ++t_;
+  const int g = dp_.size();
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  const float inv_g = 1.0f / static_cast<float>(g);
+
+  for (nn::Param* p : params) {
+    const std::int64_t n = p->numel();
+    const std::int64_t chunk = (n + g - 1) / g;  // padded chunk length
+    const std::int64_t padded = chunk * g;
+    const std::int64_t my_begin = dp_.rank() * chunk;
+
+    auto [it, inserted] = state_.try_emplace(p, State{});
+    if (inserted) {
+      it->second.m.assign(static_cast<std::size_t>(chunk), 0.0f);
+      it->second.v.assign(static_cast<std::size_t>(chunk), 0.0f);
+    }
+
+    // Reduce-scatter the (averaged) gradient: this rank receives the sum of
+    // all replicas' gradients for its element chunk.
+    std::vector<float> grad_padded(static_cast<std::size_t>(padded), 0.0f);
+    std::memcpy(grad_padded.data(), p->grad.data(),
+                static_cast<std::size_t>(n) * sizeof(float));
+    std::vector<float> my_grad(static_cast<std::size_t>(chunk));
+    dp_.reduce_scatter(grad_padded, my_grad);
+
+    // Sharded Adam on the owned elements (decoupled weight decay).
+    std::vector<float> updated(static_cast<std::size_t>(padded), 0.0f);
+    float* m = it->second.m.data();
+    float* v = it->second.v.data();
+    for (std::int64_t i = 0; i < chunk; ++i) {
+      const std::int64_t global = my_begin + i;
+      if (global >= n) break;
+      const float gval = my_grad[static_cast<std::size_t>(i)] * inv_g;
+      const float w = p->value.at(global);
+      m[i] = beta1_ * m[i] + (1.0f - beta1_) * gval;
+      v[i] = beta2_ * v[i] + (1.0f - beta2_) * gval * gval;
+      const float mhat = m[i] / bc1;
+      const float vhat = v[i] / bc2;
+      updated[static_cast<std::size_t>(my_begin + i)] =
+          w - lr * (mhat / (std::sqrt(vhat) + eps_) + weight_decay_ * w);
+    }
+
+    // All-gather the updated values; every replica ends identical.
+    std::vector<float> gathered(static_cast<std::size_t>(padded));
+    dp_.all_gather(
+        std::span<const float>(updated.data() + my_begin,
+                               static_cast<std::size_t>(chunk)),
+        gathered);
+    std::memcpy(p->value.data(), gathered.data(),
+                static_cast<std::size_t>(n) * sizeof(float));
+  }
+}
+
+std::int64_t ZeroAdam::state_bytes() const {
+  std::int64_t bytes = 0;
+  for (const auto& [p, st] : state_) {
+    bytes += static_cast<std::int64_t>(st.m.size() + st.v.size()) *
+             static_cast<std::int64_t>(sizeof(float));
+  }
+  return bytes;
+}
+
+}  // namespace tsr::par

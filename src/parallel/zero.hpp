@@ -1,0 +1,56 @@
+// ZeRO stage-1 optimizer-state sharding over a data-parallel group
+// (Rajbhandari et al., the paper's reference [16], named as an orthogonal
+// memory technique). Each data-parallel rank keeps Adam moments for only
+// 1/dp of every parameter's elements:
+//
+//   step = reduce_scatter(grad)  ->  local Adam on the owned chunk
+//        ->  all_gather(updated values)
+//
+// Composes with Tesseract exactly as the paper's Section 3.4 stack does:
+// the dp group is the set of ranks holding the SAME Tesseract shard in
+// different replicas, and the sharded elements are elements of that shard.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "nn/param.hpp"
+
+namespace tsr::par {
+
+class ZeroAdam {
+ public:
+  /// `dp_group` is the data-parallel communicator this optimizer shards
+  /// states across. With a 1-rank group it degenerates to plain Adam.
+  ZeroAdam(comm::Communicator dp_group, float lr, float beta1 = 0.9f,
+           float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+
+  /// One update. Performs the gradient reduce-scatter, the sharded Adam
+  /// math, and the value all-gather internally; afterwards every rank holds
+  /// the identical updated parameter values and the gradient buffers are
+  /// consumed (left in reduced-partial state).
+  void step(const std::vector<nn::Param*>& params);
+
+  /// Bytes of optimizer state held by THIS rank (for the memory claim:
+  /// ~2 * total-param-bytes / dp instead of 2 * total-param-bytes).
+  std::int64_t state_bytes() const;
+
+  float lr;
+
+ private:
+  struct State {
+    std::vector<float> m;  // moments for the owned chunk only
+    std::vector<float> v;
+  };
+
+  comm::Communicator dp_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  std::int64_t t_ = 0;
+  std::unordered_map<nn::Param*, State> state_;
+};
+
+}  // namespace tsr::par

@@ -1,0 +1,70 @@
+#include "pdgemm/cannon.hpp"
+
+#include "tensor/gemm.hpp"
+#include "tensor/kernels.hpp"
+
+namespace tsr::pdg {
+namespace {
+
+// Rotates `block` within a size-q ring communicator: sends to the member
+// `steps` positions below (i.e. "left"/"up" by steps) and receives from the
+// member `steps` above. steps == 0 is a no-op.
+void rotate(comm::Communicator& ring, Tensor& block, int steps,
+            std::uint64_t tag) {
+  const int g = ring.size();
+  steps = ((steps % g) + g) % g;
+  if (steps == 0 || g == 1) return;
+  const int dst = (ring.rank() - steps + g) % g;
+  const int src = (ring.rank() + steps) % g;
+  Tensor recv(block.shape());
+  ring.sendrecv(dst, block.span(), src, recv.span(), tag);
+  block = std::move(recv);
+}
+
+}  // namespace
+
+Tensor cannon_local(Grid2DComms& g, Tensor a_block, Tensor b_block) {
+  const int q = g.q;
+  check(a_block.ndim() == 2 && b_block.ndim() == 2,
+        "cannon_local: blocks must be 2-D");
+  check(a_block.dim(1) == b_block.dim(0),
+        "cannon_local: inner block dimensions mismatch");
+  // Initial alignment (Fig. 1a): shift row i of A left by i, column j of B
+  // up by j.
+  rotate(g.row, a_block, g.i, /*tag=*/1);
+  rotate(g.col, b_block, g.j, /*tag=*/1);
+
+  Tensor c = Tensor::zeros({a_block.dim(0), b_block.dim(1)});
+  for (int t = 0; t < q; ++t) {
+    matmul_acc(a_block, b_block, c);
+    charge_gemm(g.grid, a_block.dim(0), b_block.dim(1), a_block.dim(1));
+    if (t + 1 < q) {
+      // Fig. 1b: rotate A left by one, B up by one.
+      rotate(g.row, a_block, 1, /*tag=*/2);
+      rotate(g.col, b_block, 1, /*tag=*/2);
+    }
+  }
+  return c;
+}
+
+Tensor cannon(Grid2DComms& g, const Tensor& a, const Tensor& b) {
+  Tensor a_block = block_of(a, g.q, g.q, g.i, g.j);
+  Tensor b_block = block_of(b, g.q, g.q, g.i, g.j);
+  Tensor c_block = cannon_local(g, std::move(a_block), std::move(b_block));
+
+  std::vector<float> all(static_cast<std::size_t>(c_block.numel()) *
+                         static_cast<std::size_t>(g.grid.size()));
+  g.grid.all_gather(c_block.span(), all);
+  std::vector<Tensor> blocks;
+  blocks.reserve(static_cast<std::size_t>(g.grid.size()));
+  const std::int64_t bn = c_block.numel();
+  for (int r = 0; r < g.grid.size(); ++r) {
+    blocks.push_back(Tensor::from(
+        std::vector<float>(all.begin() + static_cast<std::ptrdiff_t>(r * bn),
+                           all.begin() + static_cast<std::ptrdiff_t>((r + 1) * bn)),
+        c_block.shape()));
+  }
+  return combine(blocks, g.q, g.q);
+}
+
+}  // namespace tsr::pdg

@@ -1,0 +1,26 @@
+// Cannon's algorithm (paper Algorithm 1) on a [q, q] grid.
+//
+// Included as the historical baseline the 2.5-D method improves on: the
+// paper's introduction compares its shift-count against Tesseract
+// (2*p^{3/2} - 2*p^{1/2} transfers vs 2*p^{2/3}; see perf/formulas.hpp).
+#pragma once
+
+#include "pdgemm/block.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tsr::pdg {
+
+/// SPMD: every rank of the q x q grid passes its UNskewed blocks
+/// A_{ij} [a/q, b/q] and B_{ij} [b/q, c/q]; returns C_{ij} [a/q, c/q].
+///
+/// The initial alignment (shift A left by i, B up by j) and the q-1 rotation
+/// steps are performed with simultaneous sendrecv shifts, as in Algorithm 1.
+Tensor cannon_local(Grid2DComms& g, Tensor a_block, Tensor b_block);
+
+/// Convenience wrapper: every rank passes the full A and B, distribution and
+/// collection are done internally, and every rank returns the full C.
+/// (Adds all-gather traffic on top of the algorithm; use cannon_local when
+/// measuring algorithm-only communication.)
+Tensor cannon(Grid2DComms& g, const Tensor& a, const Tensor& b);
+
+}  // namespace tsr::pdg

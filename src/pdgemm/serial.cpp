@@ -1,0 +1,9 @@
+#include "pdgemm/serial.hpp"
+
+namespace tsr::pdg {
+
+Tensor serial_matmul(const Tensor& a, const Tensor& b, Trans ta, Trans tb) {
+  return matmul(a, b, ta, tb);
+}
+
+}  // namespace tsr::pdg

@@ -1,0 +1,17 @@
+// Serial reference matrix multiplication — the ground truth every
+// distributed algorithm in this module is validated against (the paper's
+// Section 4 protocol: "we compute the matrix multiplication result and the
+// result using our Tesseract method respectively, to guarantee outputs are
+// the same").
+#pragma once
+
+#include "tensor/gemm.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tsr::pdg {
+
+/// C = op(A) * op(B) computed on a single device.
+Tensor serial_matmul(const Tensor& a, const Tensor& b, Trans ta = Trans::N,
+                     Trans tb = Trans::N);
+
+}  // namespace tsr::pdg

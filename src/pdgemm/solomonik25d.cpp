@@ -1,0 +1,87 @@
+#include "pdgemm/solomonik25d.hpp"
+
+#include "tensor/gemm.hpp"
+#include "tensor/kernels.hpp"
+
+namespace tsr::pdg {
+namespace {
+
+// Ring rotation within a size-q communicator (same convention as Cannon).
+void rotate(comm::Communicator& ring, Tensor& block, int steps,
+            std::uint64_t tag) {
+  const int g = ring.size();
+  steps = ((steps % g) + g) % g;
+  if (steps == 0 || g == 1) return;
+  const int dst = (ring.rank() - steps + g) % g;
+  const int src = (ring.rank() + steps) % g;
+  Tensor recv(block.shape());
+  ring.sendrecv(dst, block.span(), src, recv.span(), tag);
+  block = std::move(recv);
+}
+
+}  // namespace
+
+Tensor solomonik25d_local(TesseractComms& tc, Tensor a_block, Tensor b_block,
+                          bool allreduce_depth) {
+  const int q = tc.q;
+  const int d = tc.d;
+  check(q % d == 0, "solomonik25d: requires q % d == 0");
+  check(a_block.dim(1) == b_block.dim(0),
+        "solomonik25d: inner block dimensions mismatch");
+
+  // Replicate the layer-0 inputs to every depth layer.
+  if (d > 1) {
+    tc.depth.broadcast(a_block, 0);
+    tc.depth.broadcast(b_block, 0);
+  }
+
+  // Layer k is responsible for Cannon steps [k*s, (k+1)*s): align so its
+  // first local product is step k*s of the serial Cannon schedule.
+  const int s = q / d;
+  rotate(tc.row, a_block, tc.i + tc.k * s, /*tag=*/1);
+  rotate(tc.col, b_block, tc.j + tc.k * s, /*tag=*/1);
+
+  Tensor c = Tensor::zeros({a_block.dim(0), b_block.dim(1)});
+  for (int t = 0; t < s; ++t) {
+    matmul_acc(a_block, b_block, c);
+    charge_gemm(tc.grid, a_block.dim(0), b_block.dim(1), a_block.dim(1));
+    if (t + 1 < s) {
+      rotate(tc.row, a_block, 1, /*tag=*/2);
+      rotate(tc.col, b_block, 1, /*tag=*/2);
+    }
+  }
+
+  // Combine the partial sums of the d layers.
+  if (d > 1) {
+    if (allreduce_depth) {
+      tc.depth.all_reduce(c);
+    } else {
+      tc.depth.reduce(c, 0);
+    }
+  }
+  return c;
+}
+
+Tensor solomonik25d(TesseractComms& tc, const Tensor& a, const Tensor& b) {
+  Tensor a_block = block_of(a, tc.q, tc.q, tc.i, tc.j);
+  Tensor b_block = block_of(b, tc.q, tc.q, tc.i, tc.j);
+  Tensor c_block = solomonik25d_local(tc, std::move(a_block), std::move(b_block),
+                                      /*allreduce_depth=*/true);
+
+  // Gather the q x q result blocks from layer 0 (every layer now has them).
+  const std::int64_t bn = c_block.numel();
+  std::vector<float> all(static_cast<std::size_t>(bn) *
+                         static_cast<std::size_t>(tc.layer.size()));
+  tc.layer.all_gather(c_block.span(), all);
+  std::vector<Tensor> blocks;
+  blocks.reserve(static_cast<std::size_t>(tc.layer.size()));
+  for (int r = 0; r < tc.layer.size(); ++r) {
+    blocks.push_back(Tensor::from(
+        std::vector<float>(all.begin() + static_cast<std::ptrdiff_t>(r * bn),
+                           all.begin() + static_cast<std::ptrdiff_t>((r + 1) * bn)),
+        c_block.shape()));
+  }
+  return combine(blocks, tc.q, tc.q);
+}
+
+}  // namespace tsr::pdg

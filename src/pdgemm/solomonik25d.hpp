@@ -1,0 +1,30 @@
+// Solomonik-Demmel communication-avoiding 2.5-D matrix multiplication
+// (paper Section 2.3) on a [q, q, d] grid.
+//
+// The baseline Tesseract is contrasted with in the introduction: 2.5-D
+// replicates BOTH inputs across the d layers (costing broadcast + reduce on
+// the depth lines and d-fold extra memory), and each layer executes q/d of
+// the q Cannon rotation steps. Tesseract instead replicates only the weight
+// matrix and gives each layer its own slice of A, eliminating the depth
+// broadcast/reduce from the forward product entirely.
+#pragma once
+
+#include "pdgemm/block.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tsr::pdg {
+
+/// SPMD on a [q, q, d] grid with q % d == 0.
+///
+/// Every rank passes the q x q blocks A_{ij} [a/q, b/q] and B_{ij}
+/// [b/q, c/q]; only depth-layer 0's copies are read (the algorithm's own
+/// depth broadcast replicates them), so other layers may pass anything of
+/// the right shape. Returns C_{ij} [a/q, c/q], fully reduced on layer 0;
+/// with `allreduce_depth` every layer returns the full C_{ij}.
+Tensor solomonik25d_local(TesseractComms& tc, Tensor a_block, Tensor b_block,
+                          bool allreduce_depth = false);
+
+/// Convenience wrapper: full A and B in, full C out on every rank.
+Tensor solomonik25d(TesseractComms& tc, const Tensor& a, const Tensor& b);
+
+}  // namespace tsr::pdg

@@ -1,0 +1,43 @@
+// SUMMA (paper Algorithm 2) on a [q, q] grid — the algorithm underlying the
+// Optimus 2-D baseline, with the three product forms tensor-parallel
+// training needs:
+//
+//   C = A * B      (forward pass)
+//   C = A * B^T    (paper Section 3.1: dA = dC * B^T, eq. (3))
+//   C = A^T * B    (paper Section 3.1: dB = A^T * dC, eq. (3))
+//
+// Layouts (all q x q block partitions):
+//   ab : A[a,b] at (i,j), B[b,c] at (i,j)   -> C[a,c] at (i,j)
+//   abt: A[a,c] at (i,j), B[b,c] at (t,j)   -> C[a,b] at (i,t)
+//        (for each t: broadcast B_{tj} down column j, local A_{ij}*B_{tj}^T,
+//         reduce along row i to (i,t))
+//   atb: A[a,b] at (i,t), B[a,c] at (i,j)   -> C[b,c] at (t,j)
+//        (for each t: broadcast A_{it} along row i, local A_{it}^T*B_{ij},
+//         reduce along column j to (t,j))
+#pragma once
+
+#include "pdgemm/block.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tsr::pdg {
+
+/// SPMD: blocks A_{ij} [a/q, b/q], B_{ij} [b/q, c/q] -> C_{ij} [a/q, c/q].
+Tensor summa_ab_local(Grid2DComms& g, const Tensor& a_block,
+                      const Tensor& b_block);
+
+/// SPMD: C = A * B^T. a_block = A_{ij} [a/q, c/q]; b_block = B_{ij} [b/q, c/q].
+/// Returns C_{ij} [a/q, b/q].
+Tensor summa_abt_local(Grid2DComms& g, const Tensor& a_block,
+                       const Tensor& b_block);
+
+/// SPMD: C = A^T * B. a_block = A_{ij} [a/q, b/q]; b_block = B_{ij} [a/q, c/q].
+/// Returns C_{ij} [b/q, c/q].
+Tensor summa_atb_local(Grid2DComms& g, const Tensor& a_block,
+                       const Tensor& b_block);
+
+/// Convenience wrapper for C = A * B: full matrices in, full C out on every
+/// rank (adds collection traffic; use the _local form to measure the
+/// algorithm alone).
+Tensor summa(Grid2DComms& g, const Tensor& a, const Tensor& b);
+
+}  // namespace tsr::pdg

@@ -1,0 +1,54 @@
+#include "pdgemm/tesseract_mm.hpp"
+
+#include "pdgemm/summa.hpp"
+
+namespace tsr::pdg {
+namespace {
+
+// Each depth layer of the Tesseract grid is exactly a SUMMA grid over its
+// slice of A; expose it as one so the three product forms share the SUMMA
+// kernels (d = 1 reduces Tesseract to Optimus/SUMMA, as the paper notes).
+Grid2DComms layer_view(TesseractComms& tc) {
+  Grid2DComms g;
+  g.grid = tc.layer;
+  g.row = tc.row;
+  g.col = tc.col;
+  g.q = tc.q;
+  g.i = tc.i;
+  g.j = tc.j;
+  return g;
+}
+
+}  // namespace
+
+Tensor tesseract_ab_local(TesseractComms& tc, const Tensor& a_block,
+                          const Tensor& b_block) {
+  Grid2DComms layer = layer_view(tc);
+  return summa_ab_local(layer, a_block, b_block);
+}
+
+Tensor tesseract_abt_local(TesseractComms& tc, const Tensor& a_block,
+                           const Tensor& b_block) {
+  Grid2DComms layer = layer_view(tc);
+  return summa_abt_local(layer, a_block, b_block);
+}
+
+Tensor tesseract_atb_local(TesseractComms& tc, const Tensor& a_block,
+                           const Tensor& b_block, bool depth_allreduce) {
+  Grid2DComms layer = layer_view(tc);
+  Tensor partial = summa_atb_local(layer, a_block, b_block);
+  if (depth_allreduce && tc.d > 1) {
+    // Sum the per-layer partials: each layer saw only its row slice of A.
+    tc.depth.all_reduce(partial);
+  }
+  return partial;
+}
+
+Tensor tesseract_matmul(TesseractComms& tc, const Tensor& a, const Tensor& b) {
+  Tensor a_block = distribute_a_layout(tc, a);
+  Tensor b_block = distribute_b_layout(tc, b);
+  Tensor c_block = tesseract_ab_local(tc, a_block, b_block);
+  return collect_a_layout(tc, c_block, a.dim(0), b.dim(1));
+}
+
+}  // namespace tsr::pdg

@@ -1,0 +1,48 @@
+// Tesseract matrix multiplication (paper Algorithm 3) on the [q, q, d] grid —
+// the primary contribution of the paper.
+//
+// Layouts (paper Fig. 4):
+//   A [a, b] is split into (q*d) x q blocks of [a/(q*d), b/q]; processor
+//   p_{ijk} stores A_{(i + k*q), j}. B [b, c] is split into q x q blocks of
+//   [b/q, c/q], with every depth layer holding an identical replica. C is
+//   laid out like A.
+//
+// Each depth layer runs an independent SUMMA over its own row slice of A, so
+// the forward product needs no inter-layer communication at all; only the
+// weight gradient (A^T * B form) ends with an all-reduce along the depth
+// lines (paper Section 3.1: "our algorithm applied all_reduce function after
+// the computation of B' on processors with same row and column but different
+// depth").
+#pragma once
+
+#include "pdgemm/block.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tsr::pdg {
+
+/// SPMD: C = A * B.
+/// a_block = A_{(i+k*q), j} [a/(q*d), b/q]; b_block = B_{ij} [b/q, c/q]
+/// (identical across depth). Returns C in A-layout: [a/(q*d), c/q].
+Tensor tesseract_ab_local(TesseractComms& tc, const Tensor& a_block,
+                          const Tensor& b_block);
+
+/// SPMD: C = A * B^T — the activation-gradient form (dA = dC * B^T).
+/// a_block in A-layout of [a, c]; b_block = B_{ij} [b/q, c/q].
+/// Returns A-layout block of C [a, b]: [a/(q*d), b/q].
+Tensor tesseract_abt_local(TesseractComms& tc, const Tensor& a_block,
+                           const Tensor& b_block);
+
+/// SPMD: C = A^T * B — the weight-gradient form (dB = A^T * dC).
+/// a_block in A-layout of A [a, b]; b_block in A-layout of B [a, c].
+/// Returns the B-layout block of C [b, c]: [b/q, c/q]. When
+/// `depth_allreduce` is set (the default, required for correct gradients)
+/// the per-layer partial sums are all-reduced along the depth lines.
+Tensor tesseract_atb_local(TesseractComms& tc, const Tensor& a_block,
+                           const Tensor& b_block, bool depth_allreduce = true);
+
+/// Convenience wrapper implementing Algorithm 3 end to end: every rank
+/// passes the full A [a, b] and B [b, c]; the blocks are distributed per
+/// Fig. 4, multiplied, and C [a, c] is reassembled on every rank.
+Tensor tesseract_matmul(TesseractComms& tc, const Tensor& a, const Tensor& b);
+
+}  // namespace tsr::pdg

@@ -1,0 +1,237 @@
+#include "perf/analytic.hpp"
+
+#include "tensor/tensor.hpp"
+#include "topology/cost.hpp"
+#include "topology/grid.hpp"
+
+namespace tsr::perf {
+namespace {
+
+// Representative groups of the [q, q, d] grid under the contiguous
+// rank-to-node mapping. All rows (and all columns) are structurally
+// identical under that mapping, so coordinate 0 represents its class.
+struct Groups {
+  std::vector<int> row;
+  std::vector<int> col;
+  std::vector<int> depth;
+
+  Groups(int q, int d) {
+    const topo::Grid3D grid(q, d);
+    row = grid.row_group(0, 0);
+    col = grid.col_group(0, 0);
+    depth = grid.depth_group(0, 0);
+  }
+};
+
+struct TessParams {
+  std::int64_t rows, lh, l4h, hd, nl, h, seq, F, expansion;
+
+  TessParams(int q, int d, const LayerDims& dims) {
+    const int dq = q * d;
+    check(dims.hidden % q == 0 && dims.heads % q == 0,
+          "analytic tesseract: dimensions must divide q");
+    rows = ((dims.batch + dq - 1) / dq) * dims.seq;
+    lh = dims.hidden / q;
+    l4h = dims.expansion * dims.hidden / q;
+    hd = dims.hidden / dims.heads;
+    nl = dims.heads / q;
+    h = dims.hidden;
+    seq = dims.seq;
+    F = dims.elem_bytes;
+    expansion = dims.expansion;
+  }
+};
+
+// One Tesseract linear forward: q SUMMA iterations of (row bcast of the
+// activation panel, column bcast of the weight panel, local gemm) + bias.
+void tess_linear_fwd(AnalyticBreakdown& b, const topo::MachineSpec& spec,
+                     const Groups& g, int q, const TessParams& p,
+                     std::int64_t in, std::int64_t out) {
+  const std::int64_t lin = in / q;
+  const std::int64_t lout = out / q;
+  b.activation_comm += q * topo::broadcast_cost(spec, g.row, p.rows * lin * p.F);
+  b.weight_comm += q * topo::broadcast_cost(spec, g.col, lin * lout * p.F);
+  b.compute += q * spec.gemm_time(p.rows, lout, lin);
+  b.other += topo::broadcast_cost(spec, g.col, lout * p.F) +
+             spec.memory_bound_time(p.rows * lout * p.F);
+}
+
+void tess_linear_bwd(AnalyticBreakdown& b, const topo::MachineSpec& spec,
+                     const Groups& g, int q, int d, const TessParams& p,
+                     std::int64_t in, std::int64_t out) {
+  const std::int64_t lin = in / q;
+  const std::int64_t lout = out / q;
+  // dW = A^T dY: activation panel bcast, gemm, weight-block reduce, then the
+  // Section 3.1 depth all-reduce.
+  b.activation_comm += q * topo::broadcast_cost(spec, g.row, p.rows * lin * p.F);
+  b.compute += q * spec.gemm_time(lin, lout, p.rows);
+  b.weight_comm += q * topo::reduce_cost(spec, g.col, lin * lout * p.F);
+  if (d > 1) {
+    b.weight_comm += topo::all_reduce_cost(spec, g.depth, lin * lout * p.F);
+  }
+  // Bias: column reduce (+ depth sync on the owning row).
+  b.other += topo::reduce_cost(spec, g.col, lout * p.F);
+  if (d > 1) b.other += topo::all_reduce_cost(spec, g.depth, lout * p.F);
+  // dX = dY W^T: weight panel bcast, gemm, activation reduce.
+  b.weight_comm += q * topo::broadcast_cost(spec, g.col, lin * lout * p.F);
+  b.compute += q * spec.gemm_time(p.rows, lin, lout);
+  b.activation_comm += q * topo::reduce_cost(spec, g.row, p.rows * lin * p.F);
+}
+
+void tess_ln(AnalyticBreakdown& b, const topo::MachineSpec& spec,
+             const Groups& g, int d, const TessParams& p, bool backward) {
+  b.other += topo::all_reduce_cost(spec, g.row, 2 * p.rows * p.F) +
+             spec.memory_bound_time(p.rows * p.lh * p.F);
+  if (backward) {
+    b.other += topo::all_reduce_cost(spec, g.col, 2 * p.lh * p.F);
+    if (d > 1) b.other += topo::all_reduce_cost(spec, g.depth, 2 * p.lh * p.F);
+  }
+}
+
+void tess_attn_core(AnalyticBreakdown& b, const topo::MachineSpec& spec,
+                    const TessParams& p, bool backward) {
+  if (backward) {
+    b.compute += spec.gemm_time(p.rows * p.nl, p.seq, p.hd) +
+                 3 * spec.gemm_time(p.rows * p.nl, p.hd, p.seq);
+  } else {
+    b.compute += spec.gemm_time(p.rows * p.nl, p.seq, p.hd) +
+                 spec.gemm_time(p.rows * p.nl, p.hd, p.seq);
+  }
+  b.other += spec.memory_bound_time(2 * p.rows * p.nl * p.seq * p.F);
+}
+
+}  // namespace
+
+AnalyticBreakdown analytic_tesseract_forward(const topo::MachineSpec& spec,
+                                             int q, int d,
+                                             const LayerDims& dims) {
+  const TessParams p(q, d, dims);
+  const Groups g(q, d);
+  AnalyticBreakdown b;
+  tess_ln(b, spec, g, d, p, false);
+  tess_linear_fwd(b, spec, g, q, p, p.h, 3 * p.h);
+  tess_attn_core(b, spec, p, false);
+  tess_linear_fwd(b, spec, g, q, p, p.h, p.h);
+  b.other += spec.memory_bound_time(p.rows * p.lh * p.F);  // residual
+  tess_ln(b, spec, g, d, p, false);
+  tess_linear_fwd(b, spec, g, q, p, p.h, p.expansion * p.h);
+  b.other += spec.memory_bound_time(p.rows * p.l4h * p.F);  // GELU
+  tess_linear_fwd(b, spec, g, q, p, p.expansion * p.h, p.h);
+  b.other += spec.memory_bound_time(p.rows * p.lh * p.F);
+  return b;
+}
+
+AnalyticBreakdown analytic_tesseract_backward(const topo::MachineSpec& spec,
+                                              int q, int d,
+                                              const LayerDims& dims) {
+  const TessParams p(q, d, dims);
+  const Groups g(q, d);
+  AnalyticBreakdown b;
+  tess_linear_bwd(b, spec, g, q, d, p, p.h, p.expansion * p.h);
+  b.other += spec.memory_bound_time(p.rows * p.l4h * p.F);
+  tess_linear_bwd(b, spec, g, q, d, p, p.expansion * p.h, p.h);
+  tess_ln(b, spec, g, d, p, true);
+  b.other += spec.memory_bound_time(p.rows * p.lh * p.F);
+  tess_linear_bwd(b, spec, g, q, d, p, p.h, p.h);
+  tess_attn_core(b, spec, p, true);
+  tess_linear_bwd(b, spec, g, q, d, p, p.h, 3 * p.h);
+  tess_ln(b, spec, g, d, p, true);
+  b.other += spec.memory_bound_time(p.rows * p.lh * p.F);
+  return b;
+}
+
+namespace {
+
+struct MegaParams {
+  std::int64_t rows, h, seq, hd, npl, F, expansion;
+  std::vector<int> group;
+
+  MegaParams(int p, const LayerDims& dims) {
+    check(dims.hidden % p == 0 && dims.heads % p == 0,
+          "analytic megatron: dimensions must divide p");
+    rows = dims.batch * dims.seq;
+    h = dims.hidden;
+    seq = dims.seq;
+    hd = dims.hidden / dims.heads;
+    npl = dims.heads / p;
+    F = dims.elem_bytes;
+    expansion = dims.expansion;
+    group.resize(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r) group[static_cast<std::size_t>(r)] = r;
+  }
+};
+
+}  // namespace
+
+AnalyticBreakdown analytic_megatron_forward(const topo::MachineSpec& spec,
+                                            int p, const LayerDims& dims) {
+  const MegaParams m(p, dims);
+  AnalyticBreakdown b;
+  // Attention: column-parallel QKV, local heads, row-parallel projection.
+  b.compute += spec.gemm_time(m.rows, 3 * m.h / p, m.h);
+  b.other += spec.memory_bound_time(m.rows * (3 * m.h / p) * m.F);  // bias
+  b.compute += spec.gemm_time(m.rows * m.npl, m.seq, m.hd) +
+               spec.gemm_time(m.rows * m.npl, m.hd, m.seq);
+  b.other += spec.memory_bound_time(2 * m.rows * m.npl * m.seq * m.F);
+  b.compute += spec.gemm_time(m.rows, m.h, m.h / p);
+  b.activation_comm += topo::all_reduce_cost(spec, m.group, m.rows * m.h * m.F);
+  b.other += spec.memory_bound_time(m.rows * m.h * m.F);  // bias
+  b.other += spec.memory_bound_time(3 * m.rows * m.h * m.F);  // LN + residual
+  // MLP.
+  b.compute += spec.gemm_time(m.rows, m.expansion * m.h / p, m.h);
+  b.other += spec.memory_bound_time(m.rows * (m.expansion * m.h / p) * m.F) * 2;
+  b.compute += spec.gemm_time(m.rows, m.h, m.expansion * m.h / p);
+  b.activation_comm += topo::all_reduce_cost(spec, m.group, m.rows * m.h * m.F);
+  b.other += spec.memory_bound_time(m.rows * m.h * m.F);
+  b.other += spec.memory_bound_time(3 * m.rows * m.h * m.F);
+  return b;
+}
+
+AnalyticBreakdown analytic_megatron_backward(const topo::MachineSpec& spec,
+                                             int p, const LayerDims& dims) {
+  const MegaParams m(p, dims);
+  AnalyticBreakdown b;
+  // MLP backward: row-parallel (no comm), GELU, column-parallel (all-reduce).
+  b.compute += spec.gemm_time(m.expansion * m.h / p, m.h, m.rows) +
+               spec.gemm_time(m.rows, m.expansion * m.h / p, m.h);
+  b.other += spec.memory_bound_time(m.rows * (m.expansion * m.h / p) * m.F);
+  b.compute += spec.gemm_time(m.h, m.expansion * m.h / p, m.rows) +
+               spec.gemm_time(m.rows, m.h, m.expansion * m.h / p);
+  b.activation_comm += topo::all_reduce_cost(spec, m.group, m.rows * m.h * m.F);
+  b.other += spec.memory_bound_time(3 * m.rows * m.h * m.F);
+  // Attention backward.
+  b.compute += spec.gemm_time(m.h / p, m.h, m.rows) +
+               spec.gemm_time(m.rows, m.h / p, m.h);
+  b.compute += spec.gemm_time(m.rows * m.npl, m.seq, m.hd) +
+               3 * spec.gemm_time(m.rows * m.npl, m.hd, m.seq);
+  b.other += spec.memory_bound_time(2 * m.rows * m.npl * m.seq * m.F);
+  b.compute += spec.gemm_time(m.h, 3 * m.h / p, m.rows) +
+               spec.gemm_time(m.rows, m.h, 3 * m.h / p);
+  b.activation_comm += topo::all_reduce_cost(spec, m.group, m.rows * m.h * m.F);
+  b.other += spec.memory_bound_time(3 * m.rows * m.h * m.F);
+  return b;
+}
+
+double analytic_forward_seconds(const EvalConfig& cfg) {
+  AnalyticBreakdown b;
+  if (cfg.scheme == Scheme::Megatron1D) {
+    b = analytic_megatron_forward(cfg.spec, cfg.p, cfg.dims);
+  } else {
+    const int d = cfg.scheme == Scheme::Optimus2D ? 1 : cfg.d;
+    b = analytic_tesseract_forward(cfg.spec, cfg.q, d, cfg.dims);
+  }
+  return b.total() * cfg.layers;
+}
+
+double analytic_backward_seconds(const EvalConfig& cfg) {
+  AnalyticBreakdown b;
+  if (cfg.scheme == Scheme::Megatron1D) {
+    b = analytic_megatron_backward(cfg.spec, cfg.p, cfg.dims);
+  } else {
+    const int d = cfg.scheme == Scheme::Optimus2D ? 1 : cfg.d;
+    b = analytic_tesseract_backward(cfg.spec, cfg.q, d, cfg.dims);
+  }
+  return b.total() * cfg.layers;
+}
+
+}  // namespace tsr::perf

@@ -1,0 +1,50 @@
+// Configuration evaluator: produces the forward / backward / throughput /
+// inference numbers of the paper's Tables 1 and 2 for any parallelization
+// scheme and problem size, by phantom-replaying the layer schedule on a
+// simulated MeluXina-like cluster.
+#pragma once
+
+#include <string>
+
+#include "comm/stats.hpp"
+#include "perf/layer_costs.hpp"
+#include "topology/machine_spec.hpp"
+
+namespace tsr::perf {
+
+enum class Scheme { Megatron1D, Optimus2D, Tesseract };
+
+std::string scheme_name(Scheme s);
+
+struct EvalConfig {
+  Scheme scheme = Scheme::Tesseract;
+  /// Grid shape. Megatron uses p ranks; Optimus uses q*q (d forced to 1);
+  /// Tesseract uses q*q*d.
+  int p = 0;  // Megatron only
+  int q = 0;
+  int d = 1;
+  LayerDims dims;
+  /// Encoder layers replayed per batch (the paper's N).
+  int layers = 8;
+  topo::MachineSpec spec = topo::MachineSpec::meluxina();
+
+  int total_ranks() const;
+  /// "[4,4,2]" / "[8,8]" / "[16]" — the GPU-shape notation of the tables.
+  std::string shape_string() const;
+};
+
+struct EvalResult {
+  double fwd_seconds = 0.0;   ///< forward time / batch
+  double bwd_seconds = 0.0;   ///< backward time / batch
+  double throughput = 0.0;    ///< iterations / s: 1 / (fwd + bwd)
+  double inference = 0.0;     ///< iterations / s: 1 / fwd
+  comm::CommStats fwd_stats;  ///< aggregate comm of one forward pass
+  comm::CommStats bwd_stats;
+};
+
+/// Runs the phantom replay and derives the table metrics the way the
+/// paper's printed numbers do (1/(fwd+bwd) and 1/fwd — see the note in
+/// cost_model.cpp on the text-vs-numbers discrepancy).
+EvalResult evaluate(const EvalConfig& cfg);
+
+}  // namespace tsr::perf

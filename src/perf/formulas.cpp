@@ -1,0 +1,78 @@
+#include "perf/formulas.hpp"
+
+#include <cmath>
+
+namespace tsr::perf {
+
+double cannon_transmissions(double p) {
+  return 2.0 * std::pow(p, 1.5) - 2.0 * std::sqrt(p);
+}
+
+double d25_transmissions(double p) { return 2.0 * p - 2.0 * std::cbrt(p); }
+
+double tesseract_transmissions(double p) {
+  return 2.0 * std::pow(p, 2.0 / 3.0);
+}
+
+double tesseract_memory(double a, double b, double c, double p, double d) {
+  return a * b / p + b * c * d / p + a * c / p;
+}
+
+double megatron_memory(double a, double b, double c, double p) {
+  return a * b + b * c / p + a * c / p;
+}
+
+double megatron_comm_time(double beta, double p, double b, double s, double h) {
+  return 2.0 * beta * (p - 1.0) * b * s * h / p;
+}
+
+double optimus_comm_time(double beta, double p, double b, double s, double h) {
+  const double q = std::sqrt(p);
+  return 2.0 * beta * b * s * h * h * q * std::log2(p) / p;
+}
+
+double optimus_comm_time_corrected(double beta, double p, double b, double s,
+                                   double h) {
+  const double q = std::sqrt(p);
+  return 2.0 * beta * b * s * h * q * std::log2(p) / p;
+}
+
+double tesseract_comm_time(double beta, double p, double d, double b, double s,
+                           double h) {
+  const double q = std::sqrt(p / d);
+  return 2.0 * beta * b * s * h * std::log2(q) / (d * q);
+}
+
+double efficiency(double serial_work, double p, double t_comm) {
+  if (serial_work <= 0.0) return 0.0;
+  return 1.0 / (1.0 + t_comm * p / serial_work);
+}
+
+double megatron_isoefficiency(double p) { return p * p * p; }
+
+double optimus_isoefficiency(double p) {
+  const double x = std::sqrt(p) * std::log2(p > 1.0 ? p : 2.0);
+  return x * x * x;
+}
+
+double tesseract_isoefficiency(double p, double d) {
+  const double q = std::sqrt(p / d);
+  const double x = std::sqrt(p / d) * std::log2(q > 1.0 ? q : 2.0);
+  return x * x * x;
+}
+
+double cannon_bandwidth_lower_bound(double n, double p) {
+  return n * n / std::sqrt(p);
+}
+
+double cannon_latency_lower_bound(double p) { return std::sqrt(p); }
+
+double d25_bandwidth_lower_bound(double n, double p, double d) {
+  return n * n / std::sqrt(d * p);
+}
+
+double d25_latency_lower_bound(double p, double d) {
+  return std::sqrt(p) / std::pow(d, 1.5);
+}
+
+}  // namespace tsr::perf

@@ -1,0 +1,271 @@
+#include "perf/layer_costs.hpp"
+
+#include "tensor/tensor.hpp"
+
+namespace tsr::perf {
+namespace {
+
+// ---- Tesseract building blocks ----------------------------------------------
+// Each helper mirrors, collective for collective and charge for charge, the
+// corresponding method in parallel/. Any change there must be reflected here
+// (tests/test_perf.cpp enforces the equality).
+
+struct TessDims {
+  std::int64_t rows;  // local activation rows: (b / (d*q)) * s
+  std::int64_t lh;    // h / q
+  std::int64_t l4h;   // expansion * h / q
+  std::int64_t hd;    // h / heads
+  std::int64_t nl;    // heads / q
+  std::int64_t h;
+  std::int64_t seq;
+  std::int64_t F;     // wire bytes per element
+
+  TessDims(const pdg::TesseractComms& tc, const LayerDims& d) {
+    const int q = tc.q;
+    const int dq = tc.d * q;
+    check(d.hidden % q == 0, "phantom tesseract: hidden % q != 0");
+    check(d.heads % q == 0, "phantom tesseract: heads % q != 0");
+    // Ceil-divide the batch: a batch that does not divide d*q is padded to
+    // the next multiple (Table 1 runs [4,4,2] with batch 12, i.e. 1.5
+    // samples per slice — execution cost is that of the padded batch).
+    rows = ((d.batch + dq - 1) / dq) * d.seq;
+    F = d.elem_bytes;
+    lh = d.hidden / q;
+    l4h = d.expansion * d.hidden / q;
+    hd = d.hidden / d.heads;
+    nl = d.heads / q;
+    h = d.hidden;
+    seq = d.seq;
+  }
+};
+
+// TesseractLinear::forward (tesseract_ab_local + bias broadcast).
+void tess_linear_fwd(pdg::TesseractComms& tc, std::int64_t rows,
+                     std::int64_t in, std::int64_t out, std::int64_t F,
+                     bool bias = true) {
+  const int q = tc.q;
+  const std::int64_t lin = in / q;
+  const std::int64_t lout = out / q;
+  for (int t = 0; t < q; ++t) {
+    tc.row.phantom_broadcast(t, rows * lin * F);
+    tc.col.phantom_broadcast(t, lin * lout * F);
+    pdg::charge_gemm(tc.grid, rows, lout, lin);
+  }
+  if (bias) {
+    tc.col.phantom_broadcast(0, lout * F);
+    pdg::charge_memory_bound(tc.grid, rows * lout * F);
+  }
+}
+
+// TesseractLinear::backward (atb + depth all-reduce + bias + abt).
+void tess_linear_bwd(pdg::TesseractComms& tc, std::int64_t rows,
+                     std::int64_t in, std::int64_t out, std::int64_t F,
+                     bool bias = true) {
+  const int q = tc.q;
+  const std::int64_t lin = in / q;
+  const std::int64_t lout = out / q;
+  // Weight gradient: summa_atb_local + depth all-reduce.
+  for (int t = 0; t < q; ++t) {
+    tc.row.phantom_broadcast(t, rows * lin * F);
+    pdg::charge_gemm(tc.grid, lin, lout, rows);
+    tc.col.phantom_reduce(t, lin * lout * F);
+  }
+  if (tc.d > 1) tc.depth.phantom_all_reduce(lin * lout * F);
+  // Bias gradient: column reduce to row 0, depth sync on row 0.
+  if (bias) {
+    tc.col.phantom_reduce(0, lout * F);
+    if (tc.i == 0 && tc.d > 1) tc.depth.phantom_all_reduce(lout * F);
+  }
+  // Input gradient: summa_abt_local.
+  for (int t = 0; t < q; ++t) {
+    tc.col.phantom_broadcast(t, lin * lout * F);
+    pdg::charge_gemm(tc.grid, rows, lin, lout);
+    tc.row.phantom_reduce(t, rows * lin * F);
+  }
+}
+
+// TesseractLayerNorm::forward.
+void tess_ln_fwd(pdg::TesseractComms& tc, const TessDims& d) {
+  tc.row.phantom_all_reduce(2 * d.rows * d.F);
+  pdg::charge_memory_bound(tc.grid, d.rows * d.lh * d.F);
+}
+
+// TesseractLayerNorm::backward.
+void tess_ln_bwd(pdg::TesseractComms& tc, const TessDims& d) {
+  tc.row.phantom_all_reduce(2 * d.rows * d.F);
+  pdg::charge_memory_bound(tc.grid, d.rows * d.lh * d.F);
+  tc.col.phantom_all_reduce(2 * d.lh * d.F);
+  if (tc.d > 1) tc.depth.phantom_all_reduce(2 * d.lh * d.F);
+}
+
+// TesseractAttention::forward.
+void tess_attn_fwd(pdg::TesseractComms& tc, const TessDims& d) {
+  tess_linear_fwd(tc, d.rows, d.h, 3 * d.h, d.F);
+  pdg::charge_gemm(tc.grid, d.rows * d.nl, d.seq, d.hd);   // Q K^T
+  pdg::charge_memory_bound(tc.grid, 2 * d.rows * d.nl * d.seq * d.F);  // softmax
+  pdg::charge_gemm(tc.grid, d.rows * d.nl, d.hd, d.seq);   // A V
+  tess_linear_fwd(tc, d.rows, d.h, d.h, d.F);
+}
+
+// TesseractAttention::backward.
+void tess_attn_bwd(pdg::TesseractComms& tc, const TessDims& d) {
+  tess_linear_bwd(tc, d.rows, d.h, d.h, d.F);                   // proj
+  pdg::charge_gemm(tc.grid, d.rows * d.nl, d.seq, d.hd);   // dA
+  pdg::charge_gemm(tc.grid, d.rows * d.nl, d.hd, d.seq);   // dV
+  pdg::charge_memory_bound(tc.grid, 2 * d.rows * d.nl * d.seq * d.F);  // softmax'
+  pdg::charge_gemm(tc.grid, d.rows * d.nl, d.hd, d.seq);   // dQ
+  pdg::charge_gemm(tc.grid, d.rows * d.nl, d.hd, d.seq);   // dK
+  tess_linear_bwd(tc, d.rows, d.h, 3 * d.h, d.F);               // qkv
+}
+
+// TesseractFeedForward forward/backward.
+void tess_ffn_fwd(pdg::TesseractComms& tc, const TessDims& d,
+                  std::int64_t expansion) {
+  tess_linear_fwd(tc, d.rows, d.h, expansion * d.h, d.F);
+  pdg::charge_memory_bound(tc.grid, d.rows * d.l4h * d.F);  // GELU
+  tess_linear_fwd(tc, d.rows, expansion * d.h, d.h, d.F);
+}
+
+void tess_ffn_bwd(pdg::TesseractComms& tc, const TessDims& d,
+                  std::int64_t expansion) {
+  tess_linear_bwd(tc, d.rows, expansion * d.h, d.h, d.F);
+  pdg::charge_memory_bound(tc.grid, d.rows * d.l4h * d.F);  // GELU'
+  tess_linear_bwd(tc, d.rows, d.h, expansion * d.h, d.F);
+}
+
+// ---- Megatron building blocks ------------------------------------------------
+
+struct MegaDims {
+  std::int64_t rows;  // b * s (activations replicated)
+  std::int64_t h;
+  std::int64_t seq;
+  std::int64_t hd;
+  std::int64_t npl;  // heads / p
+  std::int64_t F;    // wire bytes per element
+
+  MegaDims(const comm::Communicator& group, const LayerDims& d) {
+    const int p = group.size();
+    check(d.hidden % p == 0, "phantom megatron: hidden % p != 0");
+    check(d.heads % p == 0, "phantom megatron: heads % p != 0");
+    rows = d.batch * d.seq;
+    h = d.hidden;
+    seq = d.seq;
+    hd = d.hidden / d.heads;
+    npl = d.heads / p;
+    F = d.elem_bytes;
+  }
+};
+
+void mega_charge_gemm(comm::Communicator& c, std::int64_t m, std::int64_t n,
+                      std::int64_t k) {
+  pdg::charge_gemm(c, m, n, k);
+}
+
+void mega_charge_mem(comm::Communicator& c, std::int64_t bytes) {
+  pdg::charge_memory_bound(c, bytes);
+}
+
+// MegatronColumnLinear forward/backward.
+void mega_col_fwd(comm::Communicator& c, std::int64_t rows, std::int64_t in,
+                  std::int64_t out, std::int64_t F, bool bias = true) {
+  const std::int64_t lout = out / c.size();
+  mega_charge_gemm(c, rows, lout, in);
+  if (bias) mega_charge_mem(c, rows * lout * F);
+}
+
+void mega_col_bwd(comm::Communicator& c, std::int64_t rows, std::int64_t in,
+                  std::int64_t out, std::int64_t F) {
+  const std::int64_t lout = out / c.size();
+  mega_charge_gemm(c, in, lout, rows);   // dW
+  mega_charge_gemm(c, rows, in, lout);   // dx partial
+  c.phantom_all_reduce(rows * in * F);   // the "g" operator
+}
+
+// MegatronRowLinear forward/backward.
+void mega_row_fwd(comm::Communicator& c, std::int64_t rows, std::int64_t in,
+                  std::int64_t out, std::int64_t F, bool bias = true) {
+  const std::int64_t lin = in / c.size();
+  mega_charge_gemm(c, rows, out, lin);
+  c.phantom_all_reduce(rows * out * F);  // the "f" operator
+  if (bias) mega_charge_mem(c, rows * out * F);
+}
+
+void mega_row_bwd(comm::Communicator& c, std::int64_t rows, std::int64_t in,
+                  std::int64_t out) {
+  const std::int64_t lin = in / c.size();
+  mega_charge_gemm(c, lin, out, rows);  // dW
+  mega_charge_gemm(c, rows, lin, out);  // dx
+}
+
+void mega_attn_fwd(comm::Communicator& c, const MegaDims& d) {
+  mega_col_fwd(c, d.rows, d.h, 3 * d.h, d.F);
+  mega_charge_gemm(c, d.rows * d.npl, d.seq, d.hd);
+  mega_charge_mem(c, 2 * d.rows * d.npl * d.seq * d.F);
+  mega_charge_gemm(c, d.rows * d.npl, d.hd, d.seq);
+  mega_row_fwd(c, d.rows, d.h, d.h, d.F);
+}
+
+void mega_attn_bwd(comm::Communicator& c, const MegaDims& d) {
+  mega_row_bwd(c, d.rows, d.h, d.h);
+  mega_charge_gemm(c, d.rows * d.npl, d.seq, d.hd);
+  mega_charge_gemm(c, d.rows * d.npl, d.hd, d.seq);
+  mega_charge_mem(c, 2 * d.rows * d.npl * d.seq * d.F);
+  mega_charge_gemm(c, d.rows * d.npl, d.hd, d.seq);
+  mega_charge_gemm(c, d.rows * d.npl, d.hd, d.seq);
+  mega_col_bwd(c, d.rows, d.h, 3 * d.h, d.F);
+}
+
+void mega_ffn_fwd(comm::Communicator& c, const MegaDims& d,
+                  std::int64_t expansion) {
+  mega_col_fwd(c, d.rows, d.h, expansion * d.h, d.F);
+  mega_charge_mem(c, d.rows * (expansion * d.h / c.size()) * d.F);
+  mega_row_fwd(c, d.rows, expansion * d.h, d.h, d.F);
+}
+
+void mega_ffn_bwd(comm::Communicator& c, const MegaDims& d,
+                  std::int64_t expansion) {
+  mega_row_bwd(c, d.rows, expansion * d.h, d.h);
+  mega_charge_mem(c, d.rows * (expansion * d.h / c.size()) * d.F);
+  mega_col_bwd(c, d.rows, d.h, expansion * d.h, d.F);
+}
+
+}  // namespace
+
+void phantom_tesseract_forward(pdg::TesseractComms& tc, const LayerDims& dims) {
+  const TessDims d(tc, dims);
+  tess_ln_fwd(tc, d);
+  tess_attn_fwd(tc, d);
+  pdg::charge_memory_bound(tc.grid, d.rows * d.lh * d.F);  // residual
+  tess_ln_fwd(tc, d);
+  tess_ffn_fwd(tc, d, dims.expansion);
+  pdg::charge_memory_bound(tc.grid, d.rows * d.lh * d.F);  // residual
+}
+
+void phantom_tesseract_backward(pdg::TesseractComms& tc, const LayerDims& dims) {
+  const TessDims d(tc, dims);
+  tess_ffn_bwd(tc, d, dims.expansion);
+  tess_ln_bwd(tc, d);
+  pdg::charge_memory_bound(tc.grid, d.rows * d.lh * d.F);
+  tess_attn_bwd(tc, d);
+  tess_ln_bwd(tc, d);
+  pdg::charge_memory_bound(tc.grid, d.rows * d.lh * d.F);
+}
+
+void phantom_megatron_forward(comm::Communicator& group, const LayerDims& dims) {
+  const MegaDims d(group, dims);
+  mega_attn_fwd(group, d);
+  mega_charge_mem(group, 3 * d.rows * d.h * d.F);  // LN1 + residual
+  mega_ffn_fwd(group, d, dims.expansion);
+  mega_charge_mem(group, 3 * d.rows * d.h * d.F);  // LN2 + residual
+}
+
+void phantom_megatron_backward(comm::Communicator& group,
+                               const LayerDims& dims) {
+  const MegaDims d(group, dims);
+  mega_ffn_bwd(group, d, dims.expansion);
+  mega_charge_mem(group, 3 * d.rows * d.h * d.F);
+  mega_attn_bwd(group, d);
+  mega_charge_mem(group, 3 * d.rows * d.h * d.F);
+}
+
+}  // namespace tsr::perf

@@ -1,0 +1,47 @@
+// Phantom replay of one Transformer encoder layer's full communication and
+// compute schedule, for each parallelization scheme, at arbitrary problem
+// dimensions.
+//
+// The replay issues the IDENTICAL sequence of collectives (same groups, same
+// byte counts, same algorithms) and the identical local time charges as the
+// real layers in parallel/ — but with empty payloads, so paper-scale
+// dimensions (h = 8192, s = 512) cost microseconds of host time and no
+// memory. tests/test_perf.cpp pins the replay to the real layers by
+// asserting exact equality of simulated time and byte counters at small
+// dimensions. This is how the Table 1 / Table 2 benchmarks evaluate
+// configurations the host could never execute for real.
+#pragma once
+
+#include "comm/communicator.hpp"
+#include "pdgemm/block.hpp"
+
+namespace tsr::perf {
+
+/// Problem dimensions of one encoder layer (paper notation: b, s, h, n).
+struct LayerDims {
+  std::int64_t batch = 0;
+  std::int64_t seq = 0;
+  std::int64_t hidden = 0;
+  std::int64_t heads = 0;
+  std::int64_t expansion = 4;
+  /// Bytes per activation/weight element on the wire: 4 = fp32 (matches the
+  /// real float layers, which the equivalence tests pin), 2 = fp16 mixed
+  /// precision as in the paper's Megatron-style training setups.
+  std::int64_t elem_bytes = 4;
+};
+
+// ---- Tesseract (and Optimus = d = 1) ---------------------------------------
+
+/// Replays TesseractTransformerLayer::forward on the [q, q, d] grid.
+void phantom_tesseract_forward(pdg::TesseractComms& tc, const LayerDims& dims);
+/// Replays TesseractTransformerLayer::backward.
+void phantom_tesseract_backward(pdg::TesseractComms& tc, const LayerDims& dims);
+
+// ---- Megatron-LM (1-D) -------------------------------------------------------
+
+/// Replays MegatronTransformerLayer::forward on a p-rank group.
+void phantom_megatron_forward(comm::Communicator& group, const LayerDims& dims);
+/// Replays MegatronTransformerLayer::backward.
+void phantom_megatron_backward(comm::Communicator& group, const LayerDims& dims);
+
+}  // namespace tsr::perf

@@ -1,0 +1,42 @@
+#include "perf/report.hpp"
+
+#include <iomanip>
+
+namespace tsr::perf {
+
+TableRow make_row(const EvalConfig& cfg, const EvalResult& res) {
+  TableRow row;
+  row.parallelization = scheme_name(cfg.scheme);
+  row.gpus = cfg.total_ranks();
+  row.shape = cfg.shape_string();
+  row.batch = cfg.dims.batch;
+  row.hidden = cfg.dims.hidden;
+  row.heads = cfg.dims.heads;
+  row.fwd = res.fwd_seconds;
+  row.bwd = res.bwd_seconds;
+  row.throughput = res.throughput;
+  row.inference = res.inference;
+  return row;
+}
+
+void print_table(std::ostream& os, const std::string& title,
+                 const std::vector<TableRow>& rows) {
+  os << title << '\n';
+  os << std::left << std::setw(14) << "method" << std::setw(7) << "#GPUs"
+     << std::setw(10) << "shape" << std::setw(7) << "batch" << std::setw(8)
+     << "hidden" << std::setw(7) << "heads" << std::right << std::setw(12)
+     << "fwd/batch" << std::setw(12) << "bwd/batch" << std::setw(12)
+     << "throughput" << std::setw(12) << "inference" << '\n';
+  os << std::string(101, '-') << '\n';
+  for (const TableRow& r : rows) {
+    os << std::left << std::setw(14) << r.parallelization << std::setw(7)
+       << r.gpus << std::setw(10) << r.shape << std::setw(7) << r.batch
+       << std::setw(8) << r.hidden << std::setw(7) << r.heads << std::right
+       << std::fixed << std::setprecision(4) << std::setw(12) << r.fwd
+       << std::setw(12) << r.bwd << std::setw(12) << r.throughput
+       << std::setw(12) << r.inference << '\n';
+  }
+  os.unsetf(std::ios::fixed);
+}
+
+}  // namespace tsr::perf

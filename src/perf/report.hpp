@@ -1,0 +1,33 @@
+// Table formatting matching the layout of the paper's Tables 1 and 2.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "perf/cost_model.hpp"
+
+namespace tsr::perf {
+
+struct TableRow {
+  std::string parallelization;
+  int gpus = 0;
+  std::string shape;
+  std::int64_t batch = 0;
+  std::int64_t hidden = 0;
+  std::int64_t heads = 0;
+  double fwd = 0.0;
+  double bwd = 0.0;
+  double throughput = 0.0;
+  double inference = 0.0;
+};
+
+TableRow make_row(const EvalConfig& cfg, const EvalResult& res);
+
+/// Prints rows in the paper's column order:
+/// parallelization | #GPUs | shape | batch | hidden | heads | fwd | bwd |
+/// throughput | inference.
+void print_table(std::ostream& os, const std::string& title,
+                 const std::vector<TableRow>& rows);
+
+}  // namespace tsr::perf

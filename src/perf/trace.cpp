@@ -1,0 +1,16 @@
+#include "perf/trace.hpp"
+
+namespace tsr::perf {
+
+Measurement measure(comm::World& world,
+                    const std::function<void(comm::Communicator&)>& fn) {
+  world.reset_clocks();
+  world.reset_stats();
+  world.run(fn);
+  Measurement m;
+  m.sim_seconds = world.max_sim_time();
+  m.total_stats = world.total_stats();
+  return m;
+}
+
+}  // namespace tsr::perf

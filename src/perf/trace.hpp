@@ -1,0 +1,22 @@
+// Measurement harness: runs an SPMD function on a world and captures the
+// simulated makespan plus aggregated communication statistics.
+#pragma once
+
+#include <functional>
+
+#include "comm/communicator.hpp"
+
+namespace tsr::perf {
+
+struct Measurement {
+  /// Simulated makespan of the run: max per-rank clock delta.
+  double sim_seconds = 0.0;
+  /// Statistics summed over all ranks.
+  comm::CommStats total_stats;
+};
+
+/// Resets clocks and stats, runs `fn` on every rank, and reports the delta.
+Measurement measure(comm::World& world,
+                    const std::function<void(comm::Communicator&)>& fn);
+
+}  // namespace tsr::perf

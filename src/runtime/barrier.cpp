@@ -1,0 +1,25 @@
+#include "runtime/barrier.hpp"
+
+#include <stdexcept>
+
+namespace tsr::rt {
+
+Barrier::Barrier(int count) : count_(count) {
+  if (count <= 0) {
+    throw std::invalid_argument("Barrier: count must be positive");
+  }
+}
+
+void Barrier::arrive_and_wait() {
+  std::unique_lock lock(mu_);
+  const bool my_sense = sense_;
+  if (++waiting_ == count_) {
+    waiting_ = 0;
+    sense_ = !sense_;
+    cv_.notify_all();
+  } else {
+    cv_.wait(lock, [&] { return sense_ != my_sense; });
+  }
+}
+
+}  // namespace tsr::rt

@@ -1,0 +1,29 @@
+// Reusable sense-reversing barrier for the virtual cluster.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+namespace tsr::rt {
+
+/// Classic sense-reversing central barrier. Reusable across any number of
+/// phases; safe for exactly `count` participating threads.
+class Barrier {
+ public:
+  explicit Barrier(int count);
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Blocks until all `count` threads have arrived at this phase.
+  void arrive_and_wait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  const int count_;
+  int waiting_ = 0;
+  bool sense_ = false;  // flips each completed phase
+};
+
+}  // namespace tsr::rt

@@ -1,0 +1,35 @@
+#include "runtime/cluster.hpp"
+
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace tsr::rt {
+
+void run_spmd(int nranks, const std::function<void(int)>& fn) {
+  if (nranks <= 0) {
+    throw std::invalid_argument("run_spmd: nranks must be positive");
+  }
+  if (nranks == 1) {
+    fn(0);  // fast path, also keeps single-rank stacks debuggable
+    return;
+  }
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        fn(r);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace tsr::rt

@@ -1,0 +1,24 @@
+// Virtual SPMD cluster: runs one function on N ranks, one OS thread each.
+//
+// This substitutes for the paper's GPU cluster (see DESIGN.md §1). Each rank
+// executes the same function with its rank id — the SPMD model of MPI/NCCL —
+// and communicates only through the comm::Communicator handed to it.
+// Exceptions thrown by any rank are captured, the cluster is drained, and
+// the first exception is rethrown to the caller.
+#pragma once
+
+#include <exception>
+#include <functional>
+
+namespace tsr::rt {
+
+/// Runs `fn(rank)` on `nranks` threads and joins them all.
+///
+/// If one or more ranks throw, every rank is still joined (communicators
+/// must not be destroyed under a live rank) and the lowest-rank exception is
+/// rethrown. Deadlock caused by a crashed peer is the caller's concern:
+/// collectives in this codebase only throw on programmer error (shape or
+/// group mismatch), which tests exercise single-ranked.
+void run_spmd(int nranks, const std::function<void(int)>& fn);
+
+}  // namespace tsr::rt

@@ -1,0 +1,178 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+
+namespace tsr {
+namespace {
+
+// Element of op(A) at logical (i, j): storage access depends on transpose.
+inline float opa(Trans t, const float* a, std::int64_t lda, std::int64_t i,
+                 std::int64_t j) {
+  return t == Trans::N ? a[i * lda + j] : a[j * lda + i];
+}
+
+// Tile edge for the cache-blocked loops. 64x64 float tiles (16 KiB) keep all
+// three operands resident in L1/L2 on any modern core.
+constexpr std::int64_t kTile = 64;
+
+// Specialized inner kernel for the common N/N case: i-k-j order so the inner
+// loop streams B and C rows contiguously and vectorizes.
+void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+             float* c, std::int64_t ldc) {
+  for (std::int64_t i0 = 0; i0 < m; i0 += kTile) {
+    const std::int64_t i1 = std::min(i0 + kTile, m);
+    for (std::int64_t k0 = 0; k0 < k; k0 += kTile) {
+      const std::int64_t k1 = std::min(k0 + kTile, k);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        float* ci = c + i * ldc;
+        for (std::int64_t kk = k0; kk < k1; ++kk) {
+          const float aik = alpha * a[i * lda + kk];
+          const float* bk = b + kk * ldb;
+          for (std::int64_t j = 0; j < n; ++j) {
+            ci[j] += aik * bk[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+// N/T case: both A rows and B rows stream contiguously; dot-product kernel.
+void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+             float* c, std::int64_t ldc) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * lda;
+    float* ci = c + i * ldc;
+    for (std::int64_t j = 0; j < n; ++j) {
+      const float* bj = b + j * ldb;
+      float acc = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += ai[kk] * bj[kk];
+      }
+      ci[j] += alpha * acc;
+    }
+  }
+}
+
+// T/N case: k is the slow index of both operands; k-i-j order streams C and B.
+void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+             float* c, std::int64_t ldc) {
+  for (std::int64_t kk = 0; kk < k; ++kk) {
+    const float* ak = a + kk * lda;  // row kk of stored A = column of op(A)
+    const float* bk = b + kk * ldb;
+    for (std::int64_t i = 0; i < m; ++i) {
+      const float aik = alpha * ak[i];
+      float* ci = c + i * ldc;
+      for (std::int64_t j = 0; j < n; ++j) {
+        ci[j] += aik * bk[j];
+      }
+    }
+  }
+}
+
+// T/T case (rare in this codebase): generic indexing.
+void gemm_tt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
+             const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
+             float* c, std::int64_t ldc) {
+  for (std::int64_t i = 0; i < m; ++i) {
+    float* ci = c + i * ldc;
+    for (std::int64_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += opa(Trans::T, a, lda, i, kk) * b[j * ldb + kk];
+      }
+      ci[j] += alpha * acc;
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+          float alpha, const float* a, std::int64_t lda, const float* b,
+          std::int64_t ldb, float beta, float* c, std::int64_t ldc) {
+  // Scale / clear C first so the kernels can be pure accumulators.
+  if (beta == 0.0f) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      std::fill(c + i * ldc, c + i * ldc + n, 0.0f);
+    }
+  } else if (beta != 1.0f) {
+    for (std::int64_t i = 0; i < m; ++i) {
+      for (std::int64_t j = 0; j < n; ++j) c[i * ldc + j] *= beta;
+    }
+  }
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
+
+  if (ta == Trans::N && tb == Trans::N) {
+    gemm_nn(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  } else if (ta == Trans::N && tb == Trans::T) {
+    gemm_nt(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  } else if (ta == Trans::T && tb == Trans::N) {
+    gemm_tn(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  } else {
+    gemm_tt(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  }
+}
+
+namespace {
+void matmul_dims(const Tensor& a, const Tensor& b, Trans ta, Trans tb,
+                 std::int64_t& m, std::int64_t& n, std::int64_t& k) {
+  check(a.ndim() == 2 && b.ndim() == 2, "matmul: operands must be 2-D");
+  m = ta == Trans::N ? a.dim(0) : a.dim(1);
+  const std::int64_t ka = ta == Trans::N ? a.dim(1) : a.dim(0);
+  const std::int64_t kb = tb == Trans::N ? b.dim(0) : b.dim(1);
+  n = tb == Trans::N ? b.dim(1) : b.dim(0);
+  check(ka == kb, "matmul: inner dimensions mismatch: " +
+                      shape_to_string(a.shape()) + " x " +
+                      shape_to_string(b.shape()));
+  k = ka;
+}
+}  // namespace
+
+Tensor matmul(const Tensor& a, const Tensor& b, Trans ta, Trans tb) {
+  std::int64_t m, n, k;
+  matmul_dims(a, b, ta, tb, m, n, k);
+  Tensor c({m, n});
+  gemm(ta, tb, m, n, k, 1.0f, a.data(), a.dim(1), b.data(), b.dim(1), 0.0f,
+       c.data(), n);
+  return c;
+}
+
+void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c, Trans ta, Trans tb,
+                float beta) {
+  std::int64_t m, n, k;
+  matmul_dims(a, b, ta, tb, m, n, k);
+  check(c.ndim() == 2 && c.dim(0) == m && c.dim(1) == n,
+        "matmul_acc: output shape mismatch");
+  gemm(ta, tb, m, n, k, 1.0f, a.data(), a.dim(1), b.data(), b.dim(1), beta,
+       c.data(), n);
+}
+
+Tensor bmm(const Tensor& a, const Tensor& b, Trans ta, Trans tb) {
+  check(a.ndim() == 3 && b.ndim() == 3, "bmm: operands must be 3-D");
+  check(a.dim(0) == b.dim(0), "bmm: batch dimensions mismatch");
+  const std::int64_t batch = a.dim(0);
+  const std::int64_t m = ta == Trans::N ? a.dim(1) : a.dim(2);
+  const std::int64_t ka = ta == Trans::N ? a.dim(2) : a.dim(1);
+  const std::int64_t kb = tb == Trans::N ? b.dim(1) : b.dim(2);
+  const std::int64_t n = tb == Trans::N ? b.dim(2) : b.dim(1);
+  check(ka == kb, "bmm: inner dimensions mismatch");
+  Tensor c({batch, m, n});
+  const std::int64_t as = a.dim(1) * a.dim(2);
+  const std::int64_t bs = b.dim(1) * b.dim(2);
+  const std::int64_t cs = m * n;
+  for (std::int64_t i = 0; i < batch; ++i) {
+    gemm(ta, tb, m, n, ka, 1.0f, a.data() + i * as, a.dim(2), b.data() + i * bs,
+         b.dim(2), 0.0f, c.data() + i * cs, n);
+  }
+  return c;
+}
+
+std::int64_t gemm_flops(std::int64_t m, std::int64_t n, std::int64_t k) {
+  return 2 * m * n * k;
+}
+
+}  // namespace tsr

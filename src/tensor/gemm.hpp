@@ -1,0 +1,40 @@
+// General matrix multiply for row-major float matrices, with transpose
+// variants. This is the single compute kernel every distributed algorithm in
+// the repository bottoms out in; it is written as a register-blocked,
+// cache-tiled triple loop (no external BLAS).
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/tensor.hpp"
+
+namespace tsr {
+
+enum class Trans { N, T };
+
+/// C = alpha * op(A) * op(B) + beta * C.
+///
+/// op(A) is m x k, op(B) is k x n, C is m x n; lda/ldb/ldc are the leading
+/// (row) strides of the *stored* matrices, i.e. the number of columns of the
+/// untransposed storage.
+void gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
+          float alpha, const float* a, std::int64_t lda, const float* b,
+          std::int64_t ldb, float beta, float* c, std::int64_t ldc);
+
+/// Returns op(a) * op(b) for 2-D tensors (a fresh tensor).
+Tensor matmul(const Tensor& a, const Tensor& b, Trans ta = Trans::N,
+              Trans tb = Trans::N);
+
+/// C += op(a) * op(b) into an existing 2-D tensor.
+void matmul_acc(const Tensor& a, const Tensor& b, Tensor& c,
+                Trans ta = Trans::N, Trans tb = Trans::N, float beta = 1.0f);
+
+/// Batched matmul over the leading dimension: [B,m,k] x [B,k,n] -> [B,m,n].
+/// Transposes apply to the trailing two dimensions of each operand.
+Tensor bmm(const Tensor& a, const Tensor& b, Trans ta = Trans::N,
+           Trans tb = Trans::N);
+
+/// FLOP count of a gemm with the given logical dimensions (2*m*n*k).
+std::int64_t gemm_flops(std::int64_t m, std::int64_t n, std::int64_t k);
+
+}  // namespace tsr

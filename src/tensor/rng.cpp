@@ -1,0 +1,57 @@
+#include "tensor/rng.hpp"
+
+#include <cmath>
+
+namespace tsr {
+namespace {
+// Mixing constant scheme from the SplitMix64 reference implementation.
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) {
+  // Decorrelate (seed, stream) pairs by running the mixer over both words.
+  state_ = seed;
+  (void)splitmix64(state_);
+  state_ ^= 0xA0761D6478BD642FULL * (stream + 1);
+  (void)splitmix64(state_);
+}
+
+std::uint64_t Rng::next_u64() { return splitmix64(state_); }
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+double Rng::normal() {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return cached_normal_;
+  }
+  // Box-Muller; reject u1 == 0 to avoid log(0).
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return r * std::cos(theta);
+}
+
+std::uint64_t Rng::next_below(std::uint64_t n) {
+  // Modulo bias is negligible for the n << 2^64 values used here.
+  return n == 0 ? 0 : next_u64() % n;
+}
+
+}  // namespace tsr

@@ -1,0 +1,154 @@
+#include "tensor/tensor.hpp"
+
+#include <cstring>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace tsr {
+
+void check(bool cond, const std::string& what) {
+  if (!cond) {
+    throw std::invalid_argument(what);
+  }
+}
+
+std::int64_t shape_numel(const Shape& shape) {
+  std::int64_t n = 1;
+  for (std::int64_t d : shape) {
+    check(d >= 0, "negative dimension in shape " + shape_to_string(shape));
+    n *= d;
+  }
+  return n;
+}
+
+std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
+  numel_ = shape_numel(shape_);
+  if (numel_ > 0) {
+    data_ = std::shared_ptr<float[]>(new float[static_cast<std::size_t>(numel_)]);
+  }
+}
+
+Tensor Tensor::zeros(Shape shape) {
+  Tensor t(std::move(shape));
+  t.fill(0.0f);
+  return t;
+}
+
+Tensor Tensor::ones(Shape shape) { return full(std::move(shape), 1.0f); }
+
+Tensor Tensor::full(Shape shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::from(std::vector<float> values, Shape shape) {
+  check(static_cast<std::int64_t>(values.size()) == shape_numel(shape),
+        "Tensor::from: value count does not match shape " + shape_to_string(shape));
+  Tensor t(std::move(shape));
+  std::memcpy(t.data(), values.data(), values.size() * sizeof(float));
+  return t;
+}
+
+Tensor Tensor::of(std::initializer_list<float> values) {
+  return from(std::vector<float>(values),
+              Shape{static_cast<std::int64_t>(values.size())});
+}
+
+std::int64_t Tensor::dim(std::int64_t i) const {
+  if (i < 0) i += ndim();
+  check(i >= 0 && i < ndim(), "Tensor::dim: index out of range");
+  return shape_[static_cast<std::size_t>(i)];
+}
+
+namespace {
+inline std::int64_t idx2(const Shape& s, std::int64_t i, std::int64_t j) {
+  return i * s[1] + j;
+}
+inline std::int64_t idx3(const Shape& s, std::int64_t i, std::int64_t j,
+                         std::int64_t k) {
+  return (i * s[1] + j) * s[2] + k;
+}
+inline std::int64_t idx4(const Shape& s, std::int64_t i, std::int64_t j,
+                         std::int64_t k, std::int64_t l) {
+  return ((i * s[1] + j) * s[2] + k) * s[3] + l;
+}
+}  // namespace
+
+float& Tensor::at(std::int64_t i) { return data_[i]; }
+float Tensor::at(std::int64_t i) const { return data_[i]; }
+float& Tensor::at(std::int64_t i, std::int64_t j) { return data_[idx2(shape_, i, j)]; }
+float Tensor::at(std::int64_t i, std::int64_t j) const {
+  return data_[idx2(shape_, i, j)];
+}
+float& Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k) {
+  return data_[idx3(shape_, i, j, k)];
+}
+float Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k) const {
+  return data_[idx3(shape_, i, j, k)];
+}
+float& Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k, std::int64_t l) {
+  return data_[idx4(shape_, i, j, k, l)];
+}
+float Tensor::at(std::int64_t i, std::int64_t j, std::int64_t k,
+                 std::int64_t l) const {
+  return data_[idx4(shape_, i, j, k, l)];
+}
+
+Tensor Tensor::reshape(Shape new_shape) const {
+  check(shape_numel(new_shape) == numel_,
+        "Tensor::reshape: cannot reshape " + shape_to_string(shape_) + " to " +
+            shape_to_string(new_shape));
+  Tensor view;
+  view.shape_ = std::move(new_shape);
+  view.numel_ = numel_;
+  view.data_ = data_;
+  return view;
+}
+
+Tensor Tensor::as_matrix() const {
+  check(ndim() >= 1, "Tensor::as_matrix: needs at least 1 dimension");
+  if (ndim() == 1) return reshape({1, shape_[0]});
+  std::int64_t rows = 1;
+  for (std::size_t i = 0; i + 1 < shape_.size(); ++i) rows *= shape_[i];
+  return reshape({rows, shape_.back()});
+}
+
+Tensor Tensor::clone() const {
+  // A default-constructed tensor has an empty shape AND numel 0; a scalar
+  // Tensor({}) has numel 1. Preserve the distinction: cloning empty yields
+  // empty rather than a scalar built from the empty shape.
+  if (numel_ == 0) {
+    Tensor t;
+    t.shape_ = shape_;
+    return t;
+  }
+  Tensor t(shape_);
+  std::memcpy(t.data(), data(), static_cast<std::size_t>(numel_) * sizeof(float));
+  return t;
+}
+
+void Tensor::fill(float value) {
+  for (std::int64_t i = 0; i < numel_; ++i) data_[i] = value;
+}
+
+void Tensor::copy_from(const Tensor& src) {
+  check(src.numel() == numel_, "Tensor::copy_from: size mismatch");
+  if (numel_ > 0) {
+    std::memcpy(data(), src.data(), static_cast<std::size_t>(numel_) * sizeof(float));
+  }
+}
+
+}  // namespace tsr

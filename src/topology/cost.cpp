@@ -1,0 +1,106 @@
+#include "topology/cost.hpp"
+
+#include <cmath>
+
+namespace tsr::topo {
+namespace {
+
+int ceil_log2(int g) {
+  int bits = 0;
+  int v = 1;
+  while (v < g) {
+    v <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace
+
+LinkType worst_link(const MachineSpec& spec, const std::vector<int>& group) {
+  LinkType worst = LinkType::Self;
+  for (std::size_t a = 0; a < group.size(); ++a) {
+    for (std::size_t b = a + 1; b < group.size(); ++b) {
+      const LinkType t = spec.link(group[a], group[b]);
+      if (t == LinkType::InterNode) return LinkType::InterNode;
+      if (t == LinkType::IntraNode) worst = LinkType::IntraNode;
+    }
+  }
+  return worst;
+}
+
+namespace {
+
+// Root-side serialization of one chunk to every other member: the scatter
+// phase of the pipelined broadcast (and, mirrored, the gather phase of the
+// pipelined reduce). Uses the actual per-destination link, so a group of
+// mostly-NVLink members with a few InfiniBand ones is not charged at the
+// worst link for every transfer.
+double star_phase_cost(const MachineSpec& spec, const std::vector<int>& group,
+                       double chunk_bytes) {
+  double t = 0.0;
+  for (std::size_t i = 1; i < group.size(); ++i) {
+    const LinkType link = spec.link(group[0], group[i]);
+    if (link == LinkType::Self) continue;
+    t += chunk_bytes * spec.params(link).beta;
+  }
+  return t;
+}
+
+}  // namespace
+
+double broadcast_cost(const MachineSpec& spec, const std::vector<int>& group,
+                      std::int64_t bytes) {
+  const int g = static_cast<int>(group.size());
+  if (g <= 1) return 0.0;
+  const LinkParams& p = spec.params(worst_link(spec, group));
+  if (bytes >= kPipelinedCollectiveBytes) {
+    // Scatter (per-destination links) + ring all-gather ((g-1) dependent
+    // chunk hops, throttled by the slowest ring edge).
+    const double chunk = static_cast<double>(bytes) / g;
+    return star_phase_cost(spec, group, chunk) +
+           (g - 1) * (p.alpha + chunk * p.beta) + p.alpha;
+  }
+  return ceil_log2(g) * p.transfer_time(bytes);
+}
+
+double reduce_cost(const MachineSpec& spec, const std::vector<int>& group,
+                   std::int64_t bytes) {
+  const int g = static_cast<int>(group.size());
+  if (g <= 1) return 0.0;
+  const LinkParams& p = spec.params(worst_link(spec, group));
+  if (bytes >= kPipelinedCollectiveBytes) {
+    // Ring reduce-scatter + chunk gather to the root (per-source links).
+    const double chunk = static_cast<double>(bytes) / g;
+    return (g - 1) * (p.alpha + chunk * p.beta) +
+           star_phase_cost(spec, group, chunk) + p.alpha;
+  }
+  return ceil_log2(g) * p.transfer_time(bytes);
+}
+
+double all_reduce_cost(const MachineSpec& spec, const std::vector<int>& group,
+                       std::int64_t bytes) {
+  const int g = static_cast<int>(group.size());
+  if (g <= 1) return 0.0;
+  const LinkParams& p = spec.params(worst_link(spec, group));
+  return 2.0 * (g - 1) * p.transfer_time(bytes / g);
+}
+
+double all_gather_cost(const MachineSpec& spec, const std::vector<int>& group,
+                       std::int64_t bytes_per_rank) {
+  const int g = static_cast<int>(group.size());
+  if (g <= 1) return 0.0;
+  const LinkParams& p = spec.params(worst_link(spec, group));
+  return (g - 1) * p.transfer_time(bytes_per_rank);
+}
+
+double reduce_scatter_cost(const MachineSpec& spec,
+                           const std::vector<int>& group,
+                           std::int64_t total_bytes) {
+  const int g = static_cast<int>(group.size());
+  if (g <= 1) return 0.0;
+  const LinkParams& p = spec.params(worst_link(spec, group));
+  return (g - 1) * p.transfer_time(total_bytes / g);
+}
+
+}  // namespace tsr::topo

@@ -1,0 +1,54 @@
+// Closed-form alpha-beta cost estimates for the collective algorithms in
+// comm/ evaluated on a MachineSpec.
+//
+// These are the analytic counterparts of the paper's communication-time
+// expressions (Section 3.1). The benchmark tables do NOT use these directly —
+// they replay the exact message schedule with phantom collectives — but the
+// isoefficiency analysis and the sanity tests do. The estimates use the
+// slowest link appearing on the algorithm's communication edges, which is
+// exact for single-level groups and a safe upper bound for groups spanning
+// nodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/machine_spec.hpp"
+
+namespace tsr::topo {
+
+/// Slowest link class used among consecutive/tree edges of a group of world
+/// ranks. Single-member groups report Self.
+LinkType worst_link(const MachineSpec& spec, const std::vector<int>& group);
+
+/// Payload threshold at which the comm layer switches broadcast/reduce from
+/// binomial trees to the pipelined (scatter + ring) form; the closed forms
+/// below switch identically.
+inline constexpr std::int64_t kPipelinedCollectiveBytes = 64 * 1024;
+
+/// Broadcast of `bytes`: binomial ceil(log2 g) * (alpha + bytes*beta) below
+/// the pipeline threshold; scatter + ring all-gather above it
+/// (~2 * bytes * (g-1)/g * beta + g * alpha).
+double broadcast_cost(const MachineSpec& spec, const std::vector<int>& group,
+                      std::int64_t bytes);
+
+/// Reduce; same protocol switch as broadcast (ring reduce-scatter + gather
+/// for large payloads).
+double reduce_cost(const MachineSpec& spec, const std::vector<int>& group,
+                   std::int64_t bytes);
+
+/// Ring all-reduce: 2(g-1) * (alpha + bytes/g * beta).
+double all_reduce_cost(const MachineSpec& spec, const std::vector<int>& group,
+                       std::int64_t bytes);
+
+/// Ring all-gather of g chunks of `bytes_per_rank`:
+/// (g-1) * (alpha + bytes_per_rank * beta).
+double all_gather_cost(const MachineSpec& spec, const std::vector<int>& group,
+                       std::int64_t bytes_per_rank);
+
+/// Ring reduce-scatter of a `total_bytes` buffer.
+double reduce_scatter_cost(const MachineSpec& spec,
+                           const std::vector<int>& group,
+                           std::int64_t total_bytes);
+
+}  // namespace tsr::topo

@@ -1,0 +1,68 @@
+#include "topology/grid.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace tsr::topo {
+
+Grid3D::Grid3D(int q, int d) : q_(q), d_(d) {
+  if (q < 1 || d < 1) {
+    throw std::invalid_argument("Grid3D: q and d must be >= 1");
+  }
+}
+
+int Grid3D::rank_of(int i, int j, int k) const {
+  if (i < 0 || i >= q_ || j < 0 || j >= q_ || k < 0 || k >= d_) {
+    throw std::out_of_range("Grid3D::rank_of: coordinate out of range");
+  }
+  return (k * q_ + i) * q_ + j;
+}
+
+Coord3 Grid3D::coord_of(int rank) const {
+  if (rank < 0 || rank >= size()) {
+    throw std::out_of_range("Grid3D::coord_of: rank out of range");
+  }
+  Coord3 c;
+  c.j = rank % q_;
+  c.i = (rank / q_) % q_;
+  c.k = rank / (q_ * q_);
+  return c;
+}
+
+std::vector<int> Grid3D::row_group(int i, int k) const {
+  std::vector<int> g;
+  g.reserve(static_cast<std::size_t>(q_));
+  for (int j = 0; j < q_; ++j) g.push_back(rank_of(i, j, k));
+  return g;
+}
+
+std::vector<int> Grid3D::col_group(int j, int k) const {
+  std::vector<int> g;
+  g.reserve(static_cast<std::size_t>(q_));
+  for (int i = 0; i < q_; ++i) g.push_back(rank_of(i, j, k));
+  return g;
+}
+
+std::vector<int> Grid3D::depth_group(int i, int j) const {
+  std::vector<int> g;
+  g.reserve(static_cast<std::size_t>(d_));
+  for (int k = 0; k < d_; ++k) g.push_back(rank_of(i, j, k));
+  return g;
+}
+
+std::vector<int> Grid3D::layer_group(int k) const {
+  std::vector<int> g;
+  g.reserve(static_cast<std::size_t>(q_ * q_));
+  for (int i = 0; i < q_; ++i) {
+    for (int j = 0; j < q_; ++j) g.push_back(rank_of(i, j, k));
+  }
+  return g;
+}
+
+std::string Grid3D::shape_string() const {
+  std::ostringstream os;
+  os << '[' << q_ << ',' << q_ << ',' << d_ << ']';
+  return os.str();
+}
+
+}  // namespace tsr::topo

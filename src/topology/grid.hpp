@@ -1,0 +1,60 @@
+// The [q, q, d] processor grid of Tesseract (paper Fig. 3) and its
+// degenerate relatives: [q, q] for Optimus/SUMMA (d = 1) and [p] for
+// Megatron-LM.
+//
+// Rank layout is depth-major: rank = (k*q + i)*q + j, so each depth layer
+// occupies a contiguous rank range. Combined with the contiguous
+// rank-to-node placement of MachineSpec this reproduces the paper's
+// arrangement where a [q, q] layer maps onto whole nodes and the d depth
+// lines cross the (slower) inter-node links.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tsr::topo {
+
+struct Coord3 {
+  int i = 0;  // row within a layer
+  int j = 0;  // column within a layer
+  int k = 0;  // depth layer
+
+  bool operator==(const Coord3&) const = default;
+};
+
+class Grid3D {
+ public:
+  /// Grid with `q` rows, `q` columns and `d` depth layers. Requires
+  /// q >= 1 and 1 <= d (the paper constrains d <= q; grids violating that
+  /// are allowed here so ablations can explore them, but shape helpers
+  /// report it).
+  Grid3D(int q, int d);
+
+  int q() const { return q_; }
+  int d() const { return d_; }
+  int size() const { return q_ * q_ * d_; }
+  /// True when the paper's constraint 1 <= d <= q holds.
+  bool paper_legal() const { return d_ >= 1 && d_ <= q_; }
+
+  int rank_of(int i, int j, int k) const;
+  Coord3 coord_of(int rank) const;
+
+  /// Ranks sharing (i, k), ordered by j: one SUMMA broadcast row.
+  std::vector<int> row_group(int i, int k) const;
+  /// Ranks sharing (j, k), ordered by i: one SUMMA broadcast column.
+  std::vector<int> col_group(int j, int k) const;
+  /// Ranks sharing (i, j), ordered by k: the depth line all-reducing dB.
+  std::vector<int> depth_group(int i, int j) const;
+  /// All ranks of depth layer k, row-major.
+  std::vector<int> layer_group(int k) const;
+
+  /// "[q, q, d]" — the notation used in the paper's tables.
+  std::string shape_string() const;
+
+ private:
+  int q_;
+  int d_;
+};
+
+}  // namespace tsr::topo

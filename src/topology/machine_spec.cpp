@@ -1,0 +1,48 @@
+#include "topology/machine_spec.hpp"
+
+namespace tsr::topo {
+
+MachineSpec MachineSpec::meluxina() {
+  MachineSpec spec;
+  spec.gpus_per_node = 4;
+  // NVLink 200 GB/s per direction (paper Section 4); ~4 us software latency.
+  spec.intra_node = LinkParams{4e-6, 1.0 / 200e9};
+  // InfiniBand 200 Gb/s = 25 GB/s; ~12 us end-to-end latency.
+  spec.inter_node = LinkParams{12e-6, 1.0 / 25e9};
+  // A100: 312 TFLOP/s fp16 tensor-core peak; ~55% sustained on transformer
+  // GEMMs is a common observed figure.
+  spec.peak_flops = 170e12;
+  // A ~3.5 GFLOP kernel reaches half of sustained peak; small blocks (the
+  // q=8 regime of Table 1) fall well below it.
+  spec.gemm_halfwork = 3.5e9;
+  // HBM2e ~1.6 TB/s effective.
+  spec.mem_bandwidth = 1.6e12;
+  spec.kernel_overhead = 5e-6;
+  return spec;
+}
+
+MachineSpec MachineSpec::zero_cost() {
+  return MachineSpec{.gpus_per_node = 4,
+                     .intra_node = {},
+                     .inter_node = {},
+                     .peak_flops = 0.0,
+                     .gemm_halfwork = 0.0,
+                     .mem_bandwidth = 0.0,
+                     .kernel_overhead = 0.0};
+}
+
+double MachineSpec::gemm_time(std::int64_t m, std::int64_t n,
+                              std::int64_t k) const {
+  if (peak_flops <= 0.0) return 0.0;
+  const double flops = 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+                       static_cast<double>(k);
+  const double eff = flops / (flops + gemm_halfwork);
+  return kernel_overhead + flops / (peak_flops * eff);
+}
+
+double MachineSpec::memory_bound_time(std::int64_t bytes) const {
+  if (mem_bandwidth <= 0.0) return 0.0;
+  return kernel_overhead + static_cast<double>(bytes) / mem_bandwidth;
+}
+
+}  // namespace tsr::topo

@@ -1,0 +1,79 @@
+// Description of the simulated machine: the MeluXina-like GPU cluster the
+// paper evaluates on (Section 4): 4 NVIDIA A100 per node, NVLink 200 GB/s
+// within a node, InfiniBand 200 Gb/s between nodes.
+//
+// All timing in the benchmark tables is derived from these constants via the
+// per-rank SimClock; nothing depends on host wall-clock speed.
+#pragma once
+
+#include <cstdint>
+
+namespace tsr::topo {
+
+enum class LinkType { Self, IntraNode, InterNode };
+
+/// alpha-beta parameters of one link class: latency (s) + inverse bandwidth
+/// (s/byte).
+struct LinkParams {
+  double alpha = 0.0;
+  double beta = 0.0;
+
+  double transfer_time(std::int64_t bytes) const {
+    return alpha + static_cast<double>(bytes) * beta;
+  }
+};
+
+/// Machine model: rank placement and link/compute speeds.
+///
+/// Ranks are placed on nodes contiguously: rank r lives on node
+/// r / gpus_per_node, device r % gpus_per_node — the natural SLURM-style
+/// packing the paper's q^2-multiple-of-4 arrangement assumes.
+struct MachineSpec {
+  int gpus_per_node = 4;
+
+  LinkParams intra_node;  // NVLink
+  LinkParams inter_node;  // InfiniBand
+
+  /// Sustained peak of one device for large GEMMs, in FLOP/s.
+  double peak_flops = 0.0;
+  /// GEMM efficiency half-saturation constant, in FLOPs: a kernel with W
+  /// useful FLOPs runs at peak * W / (W + gemm_halfwork). Captures the
+  /// launch-overhead / under-utilization penalty of small blocks that makes
+  /// e.g. the [8,8,1] arrangement lose to [4,4,4] in Table 1.
+  double gemm_halfwork = 0.0;
+  /// Device memory bandwidth in bytes/s, charging elementwise kernels.
+  double mem_bandwidth = 0.0;
+  /// Fixed per-kernel launch overhead in seconds.
+  double kernel_overhead = 0.0;
+
+  /// The configuration used throughout the paper's evaluation.
+  static MachineSpec meluxina();
+  /// A degenerate spec where all costs are zero (pure-correctness runs).
+  static MachineSpec zero_cost();
+
+  int node_of(int rank) const { return rank / gpus_per_node; }
+
+  LinkType link(int src, int dst) const {
+    if (src == dst) return LinkType::Self;
+    return node_of(src) == node_of(dst) ? LinkType::IntraNode
+                                        : LinkType::InterNode;
+  }
+
+  const LinkParams& params(LinkType t) const {
+    return t == LinkType::InterNode ? inter_node : intra_node;
+  }
+
+  /// Point-to-point message time; zero for self-sends.
+  double transfer_time(int src, int dst, std::int64_t bytes) const {
+    const LinkType t = link(src, dst);
+    if (t == LinkType::Self) return 0.0;
+    return params(t).transfer_time(bytes);
+  }
+
+  /// Modeled execution time of a gemm with logical dims m x n x k.
+  double gemm_time(std::int64_t m, std::int64_t n, std::int64_t k) const;
+  /// Modeled time of a memory-bound kernel touching `bytes` bytes.
+  double memory_bound_time(std::int64_t bytes) const;
+};
+
+}  // namespace tsr::topo

@@ -1,0 +1,47 @@
+// Synthetic class-conditional image dataset — the ImageNet-100 substitute
+// for the Fig. 7 exactness experiment (see DESIGN.md §1: Fig. 7's claim is
+// that Tesseract introduces no approximation, which is dataset-independent).
+//
+// Each class is a distinct deterministic 2-D sinusoidal texture; samples add
+// Gaussian pixel noise. The task is learnable by a small ViT in a few
+// epochs, and generation is bit-reproducible from the seed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace tsr::train {
+
+struct DatasetConfig {
+  int classes = 10;
+  int samples_per_class = 32;
+  std::int64_t image_size = 16;
+  std::int64_t channels = 3;
+  float noise = 0.35f;
+  std::uint64_t seed = 1234;
+};
+
+class SyntheticImageDataset {
+ public:
+  explicit SyntheticImageDataset(const DatasetConfig& cfg);
+
+  int size() const { return static_cast<int>(labels_.size()); }
+  int classes() const { return cfg_.classes; }
+  const DatasetConfig& config() const { return cfg_; }
+
+  /// Images [n, c, H, W] for the given sample indices.
+  Tensor images(std::span<const int> indices) const;
+  /// Labels for the given sample indices.
+  std::vector<int> labels(std::span<const int> indices) const;
+  int label(int index) const { return labels_[static_cast<std::size_t>(index)]; }
+
+ private:
+  DatasetConfig cfg_;
+  Tensor data_;  // [n, c, H, W], generated eagerly (datasets here are small)
+  std::vector<int> labels_;
+};
+
+}  // namespace tsr::train

@@ -1,0 +1,31 @@
+#include "train/metrics.hpp"
+
+namespace tsr::train {
+
+std::vector<int> argmax_rows(const Tensor& logits) {
+  check(logits.ndim() == 2, "argmax_rows: logits must be 2-D");
+  const std::int64_t rows = logits.dim(0);
+  const std::int64_t cols = logits.dim(1);
+  std::vector<int> out(static_cast<std::size_t>(rows));
+  for (std::int64_t r = 0; r < rows; ++r) {
+    int best = 0;
+    for (std::int64_t c = 1; c < cols; ++c) {
+      if (logits.at(r, c) > logits.at(r, best)) best = static_cast<int>(c);
+    }
+    out[static_cast<std::size_t>(r)] = best;
+  }
+  return out;
+}
+
+float accuracy(const Tensor& logits, std::span<const int> targets) {
+  const std::vector<int> pred = argmax_rows(logits);
+  check(pred.size() == targets.size(), "accuracy: size mismatch");
+  if (pred.empty()) return 0.0f;
+  int correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == targets[i]) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(pred.size());
+}
+
+}  // namespace tsr::train

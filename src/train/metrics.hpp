@@ -1,0 +1,16 @@
+// Classification metrics.
+#pragma once
+
+#include <span>
+
+#include "tensor/tensor.hpp"
+
+namespace tsr::train {
+
+/// Index of the largest logit per row.
+std::vector<int> argmax_rows(const Tensor& logits);
+
+/// Fraction of rows whose argmax matches the target.
+float accuracy(const Tensor& logits, std::span<const int> targets);
+
+}  // namespace tsr::train

@@ -1,0 +1,99 @@
+#include "train/trainer.hpp"
+
+#include <numeric>
+
+#include "comm/communicator.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+#include "train/metrics.hpp"
+
+namespace tsr::train {
+namespace {
+
+void shuffle_indices(std::vector<int>& idx, Rng& rng) {
+  for (std::size_t i = idx.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(rng.next_below(i));
+    std::swap(idx[i - 1], idx[j]);
+  }
+}
+
+// One epoch over `data` with any model exposing forward/backward/zero_grad/
+// params. Identical code path for serial and distributed models is what
+// makes the Fig. 7 comparison an apples-to-apples run.
+template <typename Model>
+EpochStats run_epoch(Model& model, nn::Optimizer& opt,
+                     const SyntheticImageDataset& data,
+                     const TrainConfig& cfg, int epoch) {
+  std::vector<int> idx(static_cast<std::size_t>(data.size()));
+  std::iota(idx.begin(), idx.end(), 0);
+  Rng shuffle_rng(cfg.shuffle_seed, static_cast<std::uint64_t>(epoch));
+  shuffle_indices(idx, shuffle_rng);
+
+  double loss_sum = 0.0;
+  int correct = 0;
+  int seen = 0;
+  const int nb = data.size() / cfg.batch_size;  // drop the ragged tail
+  for (int b = 0; b < nb; ++b) {
+    std::span<const int> batch(idx.data() + b * cfg.batch_size,
+                               static_cast<std::size_t>(cfg.batch_size));
+    Tensor images = data.images(batch);
+    std::vector<int> labels = data.labels(batch);
+
+    Tensor logits = model.forward(images);
+    nn::LossResult loss = nn::softmax_cross_entropy(logits, labels);
+    model.zero_grad();
+    model.backward(loss.dlogits);
+    std::vector<nn::Param*> params = model.params();
+    opt.step(params);
+
+    loss_sum += static_cast<double>(loss.loss) * cfg.batch_size;
+    correct += static_cast<int>(accuracy(logits, labels) *
+                                static_cast<float>(cfg.batch_size) +
+                                0.5f);
+    seen += cfg.batch_size;
+  }
+  EpochStats stats;
+  stats.loss = seen > 0 ? static_cast<float>(loss_sum / seen) : 0.0f;
+  stats.accuracy =
+      seen > 0 ? static_cast<float>(correct) / static_cast<float>(seen) : 0.0f;
+  return stats;
+}
+
+}  // namespace
+
+std::vector<EpochStats> train_vit_serial(const SyntheticImageDataset& data,
+                                         const VitConfig& model_cfg,
+                                         const TrainConfig& cfg) {
+  Rng wrng(cfg.weight_seed);
+  VisionTransformer model(model_cfg, wrng);
+  nn::Adam opt(cfg.lr, 0.9f, 0.999f, 1e-8f, cfg.weight_decay);
+  std::vector<EpochStats> history;
+  history.reserve(static_cast<std::size_t>(cfg.epochs));
+  for (int e = 0; e < cfg.epochs; ++e) {
+    history.push_back(run_epoch(model, opt, data, cfg, e));
+  }
+  return history;
+}
+
+std::vector<EpochStats> train_vit_tesseract(const SyntheticImageDataset& data,
+                                            const VitConfig& model_cfg,
+                                            const TrainConfig& cfg, int q,
+                                            int d) {
+  check(cfg.batch_size % (q * d) == 0,
+        "train_vit_tesseract: batch size must divide by d*q");
+  comm::World world(q * q * d, topo::MachineSpec::meluxina());
+  std::vector<EpochStats> history(static_cast<std::size_t>(cfg.epochs));
+  world.run([&](comm::Communicator& c) {
+    par::TesseractContext ctx(c, q, d);
+    Rng wrng(cfg.weight_seed);
+    TesseractVisionTransformer model(ctx, model_cfg, wrng);
+    nn::Adam opt(cfg.lr, 0.9f, 0.999f, 1e-8f, cfg.weight_decay);
+    for (int e = 0; e < cfg.epochs; ++e) {
+      EpochStats stats = run_epoch(model, opt, data, cfg, e);
+      if (c.rank() == 0) history[static_cast<std::size_t>(e)] = stats;
+    }
+  });
+  return history;
+}
+
+}  // namespace tsr::train

@@ -1,0 +1,124 @@
+#include "train/vit.hpp"
+
+#include "parallel/dist.hpp"
+#include "tensor/kernels.hpp"
+
+namespace tsr::train {
+namespace {
+
+// Extracts the class-token rows: [b, T, h] -> [b, h].
+Tensor take_cls(const Tensor& tokens) {
+  const std::int64_t b = tokens.dim(0);
+  const std::int64_t t = tokens.dim(1);
+  const std::int64_t h = tokens.dim(2);
+  Tensor out({b, h});
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t e = 0; e < h; ++e) out.at(bi, e) = tokens.at(bi, 0, e);
+  }
+  (void)t;
+  return out;
+}
+
+// Scatters a class-token gradient back into a zero token-gradient tensor.
+Tensor scatter_cls(const Tensor& dcls, std::int64_t tokens) {
+  const std::int64_t b = dcls.dim(0);
+  const std::int64_t h = dcls.dim(1);
+  Tensor out = Tensor::zeros({b, tokens, h});
+  for (std::int64_t bi = 0; bi < b; ++bi) {
+    for (std::int64_t e = 0; e < h; ++e) out.at(bi, 0, e) = dcls.at(bi, e);
+  }
+  return out;
+}
+
+nn::TransformerConfig encoder_config(const VitConfig& cfg) {
+  return nn::TransformerConfig{cfg.hidden, cfg.heads, cfg.layers,
+                               cfg.ffn_expansion};
+}
+
+}  // namespace
+
+VisionTransformer::VisionTransformer(const VitConfig& cfg, Rng& rng)
+    : cfg_(cfg),
+      embed(cfg.image_size, cfg.patch_size, cfg.channels, cfg.hidden, rng),
+      encoder(encoder_config(cfg), rng),
+      ln_f(cfg.hidden),
+      head(cfg.hidden, cfg.classes, rng) {}
+
+Tensor VisionTransformer::forward(const Tensor& images) {
+  batch_ = images.dim(0);
+  Tensor tokens = embed.forward(images);
+  tokens_ = tokens.dim(1);
+  Tensor y = encoder.forward(tokens);
+  cls_cache_ = ln_f.forward(take_cls(y));
+  return head.forward(cls_cache_);
+}
+
+void VisionTransformer::backward(const Tensor& dlogits) {
+  Tensor dcls = ln_f.backward(head.backward(dlogits));
+  Tensor dy = scatter_cls(dcls, tokens_);
+  Tensor dtokens = encoder.backward(dy);
+  embed.backward(dtokens);
+}
+
+void VisionTransformer::zero_grad() {
+  embed.zero_grad();
+  encoder.zero_grad();
+  ln_f.zero_grad();
+  head.zero_grad();
+}
+
+std::vector<nn::Param*> VisionTransformer::params() {
+  std::vector<nn::Param*> p = embed.params();
+  for (nn::Param* q : encoder.params()) p.push_back(q);
+  for (nn::Param* q : ln_f.params()) p.push_back(q);
+  for (nn::Param* q : head.params()) p.push_back(q);
+  return p;
+}
+
+TesseractVisionTransformer::TesseractVisionTransformer(
+    par::TesseractContext& ctx, const VitConfig& cfg, Rng& rng)
+    : ctx_(&ctx),
+      cfg_(cfg),
+      embed(cfg.image_size, cfg.patch_size, cfg.channels, cfg.hidden, rng),
+      encoder(ctx, cfg.hidden, cfg.heads, cfg.layers, rng, cfg.ffn_expansion),
+      ln_f(cfg.hidden),
+      head(cfg.hidden, cfg.classes, rng) {}
+
+Tensor TesseractVisionTransformer::forward(const Tensor& images) {
+  batch_ = images.dim(0);
+  Tensor tokens = embed.forward(images);  // replicated
+  tokens_ = tokens.dim(1);
+  Tensor x_local = par::distribute_activation(ctx_->comms(), tokens);
+  Tensor y_local = encoder.forward(x_local);
+  Tensor y = par::collect_activation(ctx_->comms(), y_local, batch_, tokens_,
+                                     cfg_.hidden);
+  Tensor cls = ln_f.forward(take_cls(y));
+  return head.forward(cls);
+}
+
+void TesseractVisionTransformer::backward(const Tensor& dlogits) {
+  Tensor dcls = ln_f.backward(head.backward(dlogits));
+  Tensor dy = scatter_cls(dcls, tokens_);
+  Tensor dy_local = par::distribute_activation(ctx_->comms(), dy);
+  Tensor dx_local = encoder.backward(dy_local);
+  Tensor dtokens = par::collect_activation(ctx_->comms(), dx_local, batch_,
+                                           tokens_, cfg_.hidden);
+  embed.backward(dtokens);
+}
+
+void TesseractVisionTransformer::zero_grad() {
+  embed.zero_grad();
+  encoder.zero_grad();
+  ln_f.zero_grad();
+  head.zero_grad();
+}
+
+std::vector<nn::Param*> TesseractVisionTransformer::params() {
+  std::vector<nn::Param*> p = embed.params();
+  for (nn::Param* q : encoder.params()) p.push_back(q);
+  for (nn::Param* q : ln_f.params()) p.push_back(q);
+  for (nn::Param* q : head.params()) p.push_back(q);
+  return p;
+}
+
+}  // namespace tsr::train

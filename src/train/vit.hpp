@@ -1,0 +1,80 @@
+// Vision Transformer (Dosovitskiy et al.), serial and Tesseract-parallel —
+// the model of the paper's Fig. 7 training-accuracy experiment.
+//
+// The parallel variant keeps the patch embedding, final norm and classifier
+// head replicated (they are tiny next to the encoder) and runs the encoder
+// stack Tesseract-parallel; activations are scattered to A-layout shards at
+// the encoder entry and gathered at its exit. Both variants consume RNG
+// draws in the same order, so equal seeds give identical initial weights —
+// the precondition of the Fig. 7 exactness claim.
+#pragma once
+
+#include "nn/embedding.hpp"
+#include "nn/linear.hpp"
+#include "nn/transformer.hpp"
+#include "parallel/tesseract_transformer.hpp"
+
+namespace tsr::train {
+
+struct VitConfig {
+  std::int64_t image_size = 16;
+  std::int64_t patch_size = 4;
+  std::int64_t channels = 3;
+  std::int64_t hidden = 32;
+  std::int64_t heads = 4;
+  std::int64_t layers = 2;
+  std::int64_t classes = 10;
+  std::int64_t ffn_expansion = 4;
+};
+
+/// Single-device ViT: the Fig. 7 baseline.
+class VisionTransformer {
+ public:
+  VisionTransformer(const VitConfig& cfg, Rng& rng);
+
+  /// images [b, c, H, W] -> logits [b, classes].
+  Tensor forward(const Tensor& images);
+  void backward(const Tensor& dlogits);
+
+  void zero_grad();
+  std::vector<nn::Param*> params();
+
+  const VitConfig& config() const { return cfg_; }
+
+ private:
+  VitConfig cfg_;
+  nn::PatchEmbedding embed;
+  nn::TransformerEncoder encoder;
+  nn::LayerNorm ln_f;
+  nn::Linear head;
+  Tensor cls_cache_;  // normalized cls tokens fed to the head
+  std::int64_t batch_ = 0;
+  std::int64_t tokens_ = 0;
+};
+
+/// Tesseract-parallel ViT. Every rank of the [q, q, d] grid runs forward and
+/// backward and returns the identical (replicated) logits.
+class TesseractVisionTransformer {
+ public:
+  /// The batch must be divisible by d*q and hidden/heads by q.
+  TesseractVisionTransformer(par::TesseractContext& ctx, const VitConfig& cfg,
+                             Rng& rng);
+
+  Tensor forward(const Tensor& images);
+  void backward(const Tensor& dlogits);
+
+  void zero_grad();
+  std::vector<nn::Param*> params();
+
+ private:
+  par::TesseractContext* ctx_;
+  VitConfig cfg_;
+  nn::PatchEmbedding embed;          // replicated
+  par::TesseractTransformer encoder;  // sharded
+  nn::LayerNorm ln_f;                // replicated
+  nn::Linear head;                   // replicated
+  std::int64_t batch_ = 0;
+  std::int64_t tokens_ = 0;
+};
+
+}  // namespace tsr::train

@@ -1,0 +1,241 @@
+// Simulated-clock semantics of the communication layer: message timing,
+// emergent collective costs, link hierarchy, and the exact equivalence of
+// phantom collectives with their real twins — the property that lets the
+// benchmark harness replay paper-scale schedules.
+#include <gtest/gtest.h>
+
+#include "comm/communicator.hpp"
+#include "perf/trace.hpp"
+#include "topology/cost.hpp"
+
+namespace tsr::comm {
+namespace {
+
+topo::MachineSpec test_spec() {
+  topo::MachineSpec spec;
+  spec.gpus_per_node = 4;
+  spec.intra_node = {1e-6, 1e-9};   // 1 us, 1 GB/s (easy numbers)
+  spec.inter_node = {10e-6, 10e-9};  // 10 us, 100 MB/s
+  spec.peak_flops = 0.0;             // no compute charges in these tests
+  spec.mem_bandwidth = 0.0;
+  spec.kernel_overhead = 0.0;
+  return spec;
+}
+
+TEST(Clock, PointToPointChargesAlphaBeta) {
+  World world(2, test_spec());
+  world.run([&](Communicator& c) {
+    if (c.rank() == 0) {
+      c.send(1, 1, std::vector<float>(250, 0.0f));  // 1000 bytes
+    } else {
+      (void)c.recv(0, 1);
+      // arrival = alpha + 1000 * beta = 1e-6 + 1e-6 = 2e-6.
+      EXPECT_DOUBLE_EQ(c.clock().now(), 2e-6);
+    }
+  });
+  EXPECT_DOUBLE_EQ(world.max_sim_time(), 2e-6);
+}
+
+TEST(Clock, SelfSendIsFree) {
+  World world(1, test_spec());
+  world.run([&](Communicator& c) {
+    c.send(0, 1, std::vector<float>(100, 0.0f));
+    (void)c.recv(0, 1);
+    EXPECT_DOUBLE_EQ(c.clock().now(), 0.0);
+  });
+}
+
+TEST(Clock, InterNodeLinkCostsMore) {
+  World world(8, test_spec());  // nodes {0..3}, {4..7}
+  double intra = 0.0;
+  double inter = 0.0;
+  world.run([&](Communicator& c) {
+    // Distinct senders so neither message queues behind the other's
+    // serialization occupancy.
+    if (c.rank() == 0) c.send(1, 1, std::vector<float>(250, 0.0f));
+    if (c.rank() == 1) intra = [&] {
+      (void)c.recv(0, 1);
+      return c.clock().now();
+    }();
+    if (c.rank() == 3) c.send(4, 2, std::vector<float>(250, 0.0f));
+    if (c.rank() == 4) inter = [&] {
+      (void)c.recv(3, 2);
+      return c.clock().now();
+    }();
+  });
+  EXPECT_DOUBLE_EQ(intra, 2e-6);
+  EXPECT_DOUBLE_EQ(inter, 10e-6 + 1000 * 10e-9);
+}
+
+TEST(Clock, BackToBackSendsQueueBehindSerialization) {
+  // Two 1000-byte messages from one sender: the second departs only after
+  // the first has been pushed onto the wire (n * beta occupancy).
+  World world(2, test_spec());
+  world.run([&](Communicator& c) {
+    if (c.rank() == 0) {
+      c.send(1, 1, std::vector<float>(250, 0.0f));
+      c.send(1, 2, std::vector<float>(250, 0.0f));
+      EXPECT_DOUBLE_EQ(c.clock().now(), 2e-6);  // two occupancies
+    } else {
+      (void)c.recv(0, 1);
+      EXPECT_DOUBLE_EQ(c.clock().now(), 2e-6);
+      (void)c.recv(0, 2);
+      EXPECT_DOUBLE_EQ(c.clock().now(), 3e-6);  // 2*occ + alpha
+    }
+  });
+}
+
+TEST(Clock, BinomialBroadcastMakespan) {
+  // 4 ranks, one node: tree depth 2, each hop alpha + n*beta.
+  World world(4, test_spec());
+  perf::Measurement m = perf::measure(world, [&](Communicator& c) {
+    std::vector<float> data(250, 0.0f);  // 1000 bytes -> hop = 2 us
+    c.broadcast(data, 0);
+  });
+  EXPECT_DOUBLE_EQ(m.sim_seconds, 2 * 2e-6);
+}
+
+TEST(Clock, RingAllReduceMakespan) {
+  // 4 ranks, one node, 4 equal chunks of 1000 bytes: 2(g-1) dependent steps.
+  World world(4, test_spec());
+  perf::Measurement m = perf::measure(world, [&](Communicator& c) {
+    std::vector<float> data(1000, 1.0f);  // 4000 bytes, chunk = 1000
+    c.all_reduce(data);
+  });
+  EXPECT_DOUBLE_EQ(m.sim_seconds, 6 * 2e-6);
+}
+
+TEST(Clock, MeasureResetsBetweenRuns) {
+  World world(2, test_spec());
+  auto fn = [&](Communicator& c) {
+    std::vector<float> v(250, 0.0f);
+    c.all_reduce(v);
+  };
+  perf::Measurement a = perf::measure(world, fn);
+  perf::Measurement b = perf::measure(world, fn);
+  EXPECT_DOUBLE_EQ(a.sim_seconds, b.sim_seconds);
+  EXPECT_EQ(a.total_stats.bytes_sent, b.total_stats.bytes_sent);
+}
+
+// ---- phantom == real ---------------------------------------------------------
+
+struct PhantomCase {
+  int ranks;
+  std::int64_t count;  // floats
+};
+
+class PhantomEquivalence : public ::testing::TestWithParam<PhantomCase> {};
+
+TEST_P(PhantomEquivalence, Broadcast) {
+  const auto [g, count] = GetParam();
+  World real(g, test_spec());
+  World phantom(g, test_spec());
+  perf::Measurement mr = perf::measure(real, [&](Communicator& c) {
+    std::vector<float> data(static_cast<std::size_t>(count), 1.0f);
+    c.broadcast(data, 0);
+  });
+  perf::Measurement mp = perf::measure(phantom, [&](Communicator& c) {
+    c.phantom_broadcast(0, count * 4);
+  });
+  EXPECT_DOUBLE_EQ(mr.sim_seconds, mp.sim_seconds);
+  EXPECT_EQ(mr.total_stats.bytes_sent, mp.total_stats.bytes_sent);
+  EXPECT_EQ(mr.total_stats.msgs_sent, mp.total_stats.msgs_sent);
+}
+
+TEST_P(PhantomEquivalence, Reduce) {
+  const auto [g, count] = GetParam();
+  World real(g, test_spec());
+  World phantom(g, test_spec());
+  perf::Measurement mr = perf::measure(real, [&](Communicator& c) {
+    std::vector<float> data(static_cast<std::size_t>(count), 1.0f);
+    c.reduce(data, 0);
+  });
+  perf::Measurement mp = perf::measure(
+      phantom, [&](Communicator& c) { c.phantom_reduce(0, count * 4); });
+  EXPECT_DOUBLE_EQ(mr.sim_seconds, mp.sim_seconds);
+  EXPECT_EQ(mr.total_stats.bytes_sent, mp.total_stats.bytes_sent);
+}
+
+TEST_P(PhantomEquivalence, AllReduce) {
+  const auto [g, count] = GetParam();
+  if (count % g != 0) GTEST_SKIP() << "byte distribution differs on ragged chunks";
+  World real(g, test_spec());
+  World phantom(g, test_spec());
+  perf::Measurement mr = perf::measure(real, [&](Communicator& c) {
+    std::vector<float> data(static_cast<std::size_t>(count), 1.0f);
+    c.all_reduce(data);
+  });
+  perf::Measurement mp = perf::measure(
+      phantom, [&](Communicator& c) { c.phantom_all_reduce(count * 4); });
+  EXPECT_DOUBLE_EQ(mr.sim_seconds, mp.sim_seconds);
+  EXPECT_EQ(mr.total_stats.bytes_sent, mp.total_stats.bytes_sent);
+  EXPECT_EQ(mr.total_stats.msgs_sent, mp.total_stats.msgs_sent);
+}
+
+TEST_P(PhantomEquivalence, AllGather) {
+  const auto [g, count] = GetParam();
+  World real(g, test_spec());
+  World phantom(g, test_spec());
+  perf::Measurement mr = perf::measure(real, [&](Communicator& c) {
+    std::vector<float> local(static_cast<std::size_t>(count), 1.0f);
+    std::vector<float> out(static_cast<std::size_t>(count * g));
+    c.all_gather(local, out);
+  });
+  perf::Measurement mp = perf::measure(
+      phantom, [&](Communicator& c) { c.phantom_all_gather(count * 4); });
+  EXPECT_DOUBLE_EQ(mr.sim_seconds, mp.sim_seconds);
+  EXPECT_EQ(mr.total_stats.bytes_sent, mp.total_stats.bytes_sent);
+}
+
+TEST_P(PhantomEquivalence, ReduceScatter) {
+  const auto [g, count] = GetParam();
+  World real(g, test_spec());
+  World phantom(g, test_spec());
+  perf::Measurement mr = perf::measure(real, [&](Communicator& c) {
+    std::vector<float> data(static_cast<std::size_t>(count * g), 1.0f);
+    std::vector<float> out(static_cast<std::size_t>(count));
+    c.reduce_scatter(data, out);
+  });
+  perf::Measurement mp = perf::measure(phantom, [&](Communicator& c) {
+    c.phantom_reduce_scatter(count * g * 4);
+  });
+  EXPECT_DOUBLE_EQ(mr.sim_seconds, mp.sim_seconds);
+  EXPECT_EQ(mr.total_stats.bytes_sent, mp.total_stats.bytes_sent);
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, PhantomEquivalence,
+                         ::testing::Values(PhantomCase{2, 8}, PhantomCase{3, 9},
+                                           PhantomCase{4, 16},
+                                           PhantomCase{5, 10},
+                                           PhantomCase{8, 64},
+                                           PhantomCase{8, 1024}));
+
+// ---- closed-form cost estimates ------------------------------------------------
+
+TEST(CostEstimates, MatchDiscreteSimOnSingleLevelGroups) {
+  const topo::MachineSpec spec = test_spec();
+  World world(4, spec);
+  const std::vector<int> group{0, 1, 2, 3};
+
+  perf::Measurement bc = perf::measure(world, [&](Communicator& c) {
+    std::vector<float> d(256, 0.0f);
+    c.broadcast(d, 0);
+  });
+  EXPECT_DOUBLE_EQ(bc.sim_seconds, topo::broadcast_cost(spec, group, 1024));
+
+  perf::Measurement ar = perf::measure(world, [&](Communicator& c) {
+    std::vector<float> d(256, 0.0f);
+    c.all_reduce(d);
+  });
+  EXPECT_DOUBLE_EQ(ar.sim_seconds, topo::all_reduce_cost(spec, group, 1024));
+}
+
+TEST(CostEstimates, WorstLinkDetection) {
+  const topo::MachineSpec spec = test_spec();
+  EXPECT_EQ(topo::worst_link(spec, {0}), topo::LinkType::Self);
+  EXPECT_EQ(topo::worst_link(spec, {0, 1}), topo::LinkType::IntraNode);
+  EXPECT_EQ(topo::worst_link(spec, {0, 1, 4}), topo::LinkType::InterNode);
+}
+
+}  // namespace
+}  // namespace tsr::comm

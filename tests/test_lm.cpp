@@ -1,0 +1,259 @@
+// Causal language model (paper Section 3.3: "BERT, GPT-2"): mask semantics,
+// corpus structure, serial learnability, and serial-vs-Tesseract exactness.
+#include <gtest/gtest.h>
+
+#include "comm/communicator.hpp"
+#include "nn/attention.hpp"
+#include "nn/optimizer.hpp"
+#include "parallel/context.hpp"
+#include "tensor/init.hpp"
+#include "tensor/kernels.hpp"
+#include "train/lm.hpp"
+
+namespace tsr::train {
+namespace {
+
+LmConfig small_lm() {
+  LmConfig cfg;
+  cfg.vocab = 16;
+  cfg.seq = 8;
+  cfg.hidden = 16;
+  cfg.heads = 4;
+  cfg.layers = 2;
+  return cfg;
+}
+
+TEST(CausalMask, UpperTriangleSuppressed) {
+  Tensor scores = Tensor::zeros({2, 3, 3});
+  nn::apply_causal_mask(scores);
+  EXPECT_EQ(scores.at(0, 0, 0), 0.0f);
+  EXPECT_LT(scores.at(0, 0, 1), -1e8f);
+  EXPECT_LT(scores.at(0, 0, 2), -1e8f);
+  EXPECT_EQ(scores.at(0, 1, 0), 0.0f);
+  EXPECT_LT(scores.at(1, 1, 2), -1e8f);
+  EXPECT_EQ(scores.at(1, 2, 2), 0.0f);
+}
+
+TEST(CausalMask, AttentionIgnoresTheFuture) {
+  // Changing a future token must not change the output at position 0.
+  Rng rng(1);
+  nn::MultiHeadAttention attn(8, 2, rng, /*causal=*/true);
+  Tensor x = random_normal({1, 4, 8}, rng);
+  Tensor y1 = attn.forward(x);
+  Tensor x2 = x.clone();
+  for (std::int64_t e = 0; e < 8; ++e) x2.at(0, 3, e) += 5.0f;
+  Tensor y2 = attn.forward(x2);
+  for (std::int64_t e = 0; e < 8; ++e) {
+    EXPECT_FLOAT_EQ(y1.at(0, 0, e), y2.at(0, 0, e));
+    EXPECT_FLOAT_EQ(y1.at(0, 2, e), y2.at(0, 2, e));
+  }
+  // ...but the final position does see it.
+  float diff = 0.0f;
+  for (std::int64_t e = 0; e < 8; ++e) {
+    diff += std::abs(y1.at(0, 3, e) - y2.at(0, 3, e));
+  }
+  EXPECT_GT(diff, 0.0f);
+}
+
+TEST(CausalMask, NonCausalAttendsEverywhere) {
+  Rng rng(2);
+  nn::MultiHeadAttention attn(8, 2, rng, /*causal=*/false);
+  Tensor x = random_normal({1, 4, 8}, rng);
+  Tensor y1 = attn.forward(x);
+  Tensor x2 = x.clone();
+  for (std::int64_t e = 0; e < 8; ++e) x2.at(0, 3, e) += 5.0f;
+  Tensor y2 = attn.forward(x2);
+  float diff = 0.0f;
+  for (std::int64_t e = 0; e < 8; ++e) {
+    diff += std::abs(y1.at(0, 0, e) - y2.at(0, 0, e));
+  }
+  EXPECT_GT(diff, 0.0f);
+}
+
+TEST(Corpus, PeriodicStructure) {
+  SyntheticCorpus corpus(4, 8, 16, 3, 7);
+  EXPECT_EQ(corpus.size(), 4);
+  std::vector<int> idx{0};
+  std::vector<int> in = corpus.inputs(idx);
+  std::vector<int> tg = corpus.targets(idx);
+  ASSERT_EQ(in.size(), 8u);
+  ASSERT_EQ(tg.size(), 8u);
+  // Targets are the inputs shifted by one.
+  for (int t = 0; t + 1 < 8; ++t) EXPECT_EQ(tg[static_cast<std::size_t>(t)],
+                                            in[static_cast<std::size_t>(t + 1)]);
+  // Period 3: token t equals token t+3.
+  for (int t = 0; t + 3 < 8; ++t) EXPECT_EQ(in[static_cast<std::size_t>(t)],
+                                            in[static_cast<std::size_t>(t + 3)]);
+}
+
+TEST(Corpus, Deterministic) {
+  SyntheticCorpus a(4, 8, 16, 3, 7);
+  SyntheticCorpus b(4, 8, 16, 3, 7);
+  std::vector<int> idx{0, 3};
+  EXPECT_EQ(a.inputs(idx), b.inputs(idx));
+}
+
+TEST(NextTokenLoss, MatchesFlatCrossEntropy) {
+  Rng rng(3);
+  Tensor logits = random_normal({2, 3, 5}, rng);
+  std::vector<int> targets{0, 1, 2, 3, 4, 0};
+  nn::LossResult res = next_token_loss(logits, targets);
+  EXPECT_EQ(res.dlogits.shape(), logits.shape());
+  EXPECT_GT(res.loss, 0.0f);
+}
+
+TEST(LanguageModel, ForwardShape) {
+  Rng rng(4);
+  LanguageModel lm(small_lm(), rng);
+  SyntheticCorpus corpus(2, 8, 16, 2, 9);
+  std::vector<int> idx{0, 1};
+  Tensor logits = lm.forward(corpus.inputs(idx), 2);
+  EXPECT_EQ(logits.shape(), (Shape{2, 8, 16}));
+}
+
+TEST(LanguageModel, LearnsThePeriodicTask) {
+  SyntheticCorpus corpus(32, 8, 16, 2, 10);
+  TrainConfig tcfg;
+  tcfg.epochs = 8;
+  tcfg.batch_size = 8;
+  tcfg.lr = 3e-3f;
+  std::vector<EpochStats> hist = train_lm_serial(corpus, small_lm(), tcfg);
+  EXPECT_LT(hist.back().loss, 0.5f * hist.front().loss);
+  EXPECT_GT(hist.back().accuracy, 0.6f);
+}
+
+TEST(LanguageModel, TesseractMatchesSerialLogits) {
+  SyntheticCorpus corpus(8, 8, 16, 2, 11);
+  std::vector<int> idx{0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> in = corpus.inputs(idx);
+
+  Rng srng(44);
+  LanguageModel serial(small_lm(), srng);
+  Tensor ref = serial.forward(in, 8);
+
+  comm::World world(8);
+  world.run([&](comm::Communicator& c) {
+    par::TesseractContext ctx(c, 2, 2);
+    Rng wrng(44);
+    TesseractLanguageModel model(ctx, small_lm(), wrng);
+    Tensor logits = model.forward(in, 8);
+    EXPECT_LT(max_abs_diff(logits, ref), 2e-3f);
+  });
+}
+
+// ---- BERT-style masked LM -----------------------------------------------------
+
+TEST(MaskedLm, MaskingIsDeterministicAndNonEmpty) {
+  SyntheticCorpus corpus(4, 8, 16, 2, 20);
+  std::vector<int> idx{0, 1, 2, 3};
+  std::vector<int> in = corpus.inputs(idx);
+  MaskedBatch a = make_masked_batch(in, 8, 15, /*mask_token=*/16, 5);
+  MaskedBatch b = make_masked_batch(in, 8, 15, 16, 5);
+  EXPECT_EQ(a.inputs, b.inputs);
+  // Every sample has at least one masked position.
+  for (int s = 0; s < 4; ++s) {
+    int count = 0;
+    for (int t = 0; t < 8; ++t) count += a.masked[static_cast<std::size_t>(s * 8 + t)];
+    EXPECT_GE(count, 1) << "sample " << s;
+  }
+  // Masked inputs carry the mask token; unmasked carry the original.
+  for (std::size_t i = 0; i < a.inputs.size(); ++i) {
+    if (a.masked[i] != 0) {
+      EXPECT_EQ(a.inputs[i], 16);
+    } else {
+      EXPECT_EQ(a.inputs[i], in[i]);
+    }
+  }
+}
+
+TEST(MaskedLm, LossGradientZeroAtUnmaskedPositions) {
+  Rng rng(21);
+  Tensor logits = random_normal({2, 4, 6}, rng);
+  std::vector<int> tokens{0, 1, 2, 3, 4, 5, 0, 1};
+  MaskedBatch mb = make_masked_batch(tokens, 4, 30, 6, 9);
+  nn::LossResult res = masked_token_loss(logits, mb);
+  const Tensor dflat = res.dlogits.reshape({8, 6});
+  for (std::int64_t p = 0; p < 8; ++p) {
+    float row = 0.0f;
+    for (std::int64_t v = 0; v < 6; ++v) row += std::abs(dflat.at(p, v));
+    if (mb.masked[static_cast<std::size_t>(p)] != 0) {
+      EXPECT_GT(row, 0.0f);
+    } else {
+      EXPECT_FLOAT_EQ(row, 0.0f);
+    }
+  }
+}
+
+TEST(MaskedLm, TesseractMatchesSerial) {
+  SyntheticCorpus corpus(8, 8, 16, 2, 22);
+  std::vector<int> idx{0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> raw = corpus.inputs(idx);
+  LmConfig cfg = small_lm();
+  MaskedBatch mb = make_masked_batch(raw, 8, 15, static_cast<int>(cfg.vocab), 3);
+
+  Rng srng(55);
+  MaskedLanguageModel serial(nullptr, cfg, srng);
+  Tensor ref = serial.forward(mb.inputs, 8);
+  nn::LossResult sres = masked_token_loss(ref, mb);
+  serial.zero_grad();
+  serial.backward(sres.dlogits);
+
+  comm::World world(8);
+  world.run([&](comm::Communicator& c) {
+    par::TesseractContext ctx(c, 2, 2);
+    Rng wrng(55);
+    MaskedLanguageModel model(&ctx, cfg, wrng);
+    Tensor logits = model.forward(mb.inputs, 8);
+    EXPECT_LT(max_abs_diff(logits, ref), 2e-3f);
+    nn::LossResult res = masked_token_loss(logits, mb);
+    EXPECT_NEAR(res.loss, sres.loss, 1e-4f);
+    model.zero_grad();
+    model.backward(res.dlogits);
+  });
+}
+
+TEST(MaskedLm, LearnsToFillMasks) {
+  // The periodic corpus makes masked positions recoverable from context —
+  // a bidirectional model should learn it quickly.
+  SyntheticCorpus corpus(32, 8, 16, 2, 23);
+  LmConfig cfg = small_lm();
+  Rng wrng(66);
+  MaskedLanguageModel model(nullptr, cfg, wrng);
+  nn::Adam opt(3e-3f);
+  std::vector<int> idx(32);
+  for (int i = 0; i < 32; ++i) idx[static_cast<std::size_t>(i)] = i;
+  float first = 0.0f;
+  float last = 0.0f;
+  for (int step = 0; step < 30; ++step) {
+    std::vector<int> raw = corpus.inputs(idx);
+    MaskedBatch mb = make_masked_batch(raw, 8, 20, static_cast<int>(cfg.vocab),
+                                       static_cast<std::uint64_t>(step));
+    Tensor logits = model.forward(mb.inputs, 32);
+    nn::LossResult res = masked_token_loss(logits, mb);
+    if (step == 0) first = res.loss;
+    last = res.loss;
+    model.zero_grad();
+    model.backward(res.dlogits);
+    std::vector<nn::Param*> params = model.params();
+    opt.step(params);
+  }
+  EXPECT_LT(last, 0.5f * first);
+}
+
+TEST(LanguageModel, TrainingCurvesCoincide) {
+  SyntheticCorpus corpus(16, 8, 16, 2, 12);
+  TrainConfig tcfg;
+  tcfg.epochs = 2;
+  tcfg.batch_size = 8;
+  tcfg.lr = 1e-3f;
+  std::vector<EpochStats> serial = train_lm_serial(corpus, small_lm(), tcfg);
+  std::vector<EpochStats> parallel =
+      train_lm_tesseract(corpus, small_lm(), tcfg, 2, 2);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t e = 0; e < serial.size(); ++e) {
+    EXPECT_NEAR(serial[e].loss, parallel[e].loss, 5e-2f);
+  }
+}
+
+}  // namespace
+}  // namespace tsr::train

@@ -1,0 +1,312 @@
+// Distributed layers against their serial counterparts across grid shapes:
+// LayerNorm, FeedForward, Attention, and the full Transformer layer, for
+// Tesseract, Optimus (d = 1) and Megatron-LM.
+#include <gtest/gtest.h>
+
+#include "comm/communicator.hpp"
+#include "nn/transformer.hpp"
+#include "parallel/dist.hpp"
+#include "parallel/megatron.hpp"
+#include "parallel/optimus.hpp"
+#include "parallel/tesseract_transformer.hpp"
+#include "tensor/init.hpp"
+#include "tensor/kernels.hpp"
+
+namespace tsr::par {
+namespace {
+
+constexpr float kTol = 2e-3f;
+
+struct GridCase {
+  int q;
+  int d;
+};
+
+// Common problem: b divisible by q*d, h and heads divisible by q.
+struct Problem {
+  std::int64_t b, s, h, heads;
+};
+
+Problem problem_for(int q, int d) {
+  return Problem{2 * q * d, 3, 8 * q, 2 * q};
+}
+
+class TesseractLayerSweep : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(TesseractLayerSweep, LayerNormMatchesSerial) {
+  const auto [q, d] = GetParam();
+  const Problem pb = problem_for(q, d);
+  Rng data_rng(70);
+  Tensor x = random_normal({pb.b, pb.s, pb.h}, data_rng);
+  scale(x, 2.5f);
+  Tensor dy = random_normal({pb.b, pb.s, pb.h}, data_rng);
+
+  nn::LayerNorm serial(pb.h);
+  Tensor y_ref = serial.forward(x);
+  Tensor dx_ref = serial.backward(dy);
+
+  comm::World world(q * q * d);
+  world.run([&](comm::Communicator& c) {
+    TesseractContext ctx(c, q, d);
+    TesseractLayerNorm ln(ctx, pb.h);
+    Tensor yl = ln.forward(distribute_activation(ctx.comms(), x));
+    Tensor y = collect_activation(ctx.comms(), yl, pb.b, pb.s, pb.h);
+    EXPECT_LT(max_abs_diff(y, y_ref), kTol);
+
+    Tensor dxl = ln.backward(distribute_activation(ctx.comms(), dy));
+    Tensor dx = collect_activation(ctx.comms(), dxl, pb.b, pb.s, pb.h);
+    EXPECT_LT(max_abs_diff(dx, dx_ref), kTol);
+
+    // gamma/beta gradients: my column shard of the serial gradient,
+    // identical across rows and depth after the sync all-reduces.
+    const std::int64_t lf = pb.h / q;
+    Tensor dg_ref = slice_block(serial.gamma.grad.reshape({1, pb.h}), 0,
+                                ctx.j() * lf, 1, lf)
+                        .reshape({lf});
+    EXPECT_LT(max_abs_diff(ln.gamma.grad, dg_ref), kTol);
+  });
+}
+
+TEST_P(TesseractLayerSweep, FeedForwardMatchesSerial) {
+  const auto [q, d] = GetParam();
+  const Problem pb = problem_for(q, d);
+  Rng data_rng(71);
+  Tensor x = random_normal({pb.b, pb.s, pb.h}, data_rng);
+  Tensor dy = random_normal({pb.b, pb.s, pb.h}, data_rng);
+
+  Rng serial_rng(500);
+  nn::FeedForward serial(pb.h, serial_rng);
+  Tensor y_ref = serial.forward(x);
+  Tensor dx_ref = serial.backward(dy);
+
+  comm::World world(q * q * d);
+  world.run([&](comm::Communicator& c) {
+    TesseractContext ctx(c, q, d);
+    Rng wrng(500);
+    TesseractFeedForward ffn(ctx, pb.h, wrng);
+    Tensor yl = ffn.forward(distribute_activation(ctx.comms(), x));
+    Tensor y = collect_activation(ctx.comms(), yl, pb.b, pb.s, pb.h);
+    EXPECT_LT(max_abs_diff(y, y_ref), kTol);
+    Tensor dxl = ffn.backward(distribute_activation(ctx.comms(), dy));
+    Tensor dx = collect_activation(ctx.comms(), dxl, pb.b, pb.s, pb.h);
+    EXPECT_LT(max_abs_diff(dx, dx_ref), kTol);
+    // fc1 weight gradient block.
+    Tensor dw1_ref = pdg::distribute_b_layout(ctx.comms(), serial.fc1.w.grad);
+    EXPECT_LT(max_abs_diff(ffn.fc1.w.grad, dw1_ref), kTol);
+  });
+}
+
+TEST_P(TesseractLayerSweep, AttentionMatchesSerial) {
+  const auto [q, d] = GetParam();
+  const Problem pb = problem_for(q, d);
+  Rng data_rng(72);
+  Tensor x = random_normal({pb.b, pb.s, pb.h}, data_rng);
+  Tensor dy = random_normal({pb.b, pb.s, pb.h}, data_rng);
+
+  Rng serial_rng(600);
+  nn::MultiHeadAttention serial(pb.h, pb.heads, serial_rng);
+  Tensor y_ref = serial.forward(x);
+  Tensor dx_ref = serial.backward(dy);
+
+  comm::World world(q * q * d);
+  world.run([&](comm::Communicator& c) {
+    TesseractContext ctx(c, q, d);
+    Rng wrng(600);
+    TesseractAttention attn(ctx, pb.h, pb.heads, wrng);
+    EXPECT_EQ(attn.local_heads(), pb.heads / q);
+    Tensor yl = attn.forward(distribute_activation(ctx.comms(), x));
+    Tensor y = collect_activation(ctx.comms(), yl, pb.b, pb.s, pb.h);
+    EXPECT_LT(max_abs_diff(y, y_ref), kTol);
+    Tensor dxl = attn.backward(distribute_activation(ctx.comms(), dy));
+    Tensor dx = collect_activation(ctx.comms(), dxl, pb.b, pb.s, pb.h);
+    EXPECT_LT(max_abs_diff(dx, dx_ref), kTol);
+    // Output projection gradient (plain layout, directly comparable).
+    Tensor dwp_ref = pdg::distribute_b_layout(ctx.comms(), serial.proj.w.grad);
+    EXPECT_LT(max_abs_diff(attn.proj.w.grad, dwp_ref), kTol);
+  });
+}
+
+TEST_P(TesseractLayerSweep, TransformerLayerMatchesSerial) {
+  const auto [q, d] = GetParam();
+  const Problem pb = problem_for(q, d);
+  Rng data_rng(73);
+  Tensor x = random_normal({pb.b, pb.s, pb.h}, data_rng);
+  Tensor dy = random_normal({pb.b, pb.s, pb.h}, data_rng);
+
+  Rng serial_rng(700);
+  nn::TransformerLayer serial(pb.h, pb.heads, serial_rng);
+  Tensor y_ref = serial.forward(x);
+  Tensor dx_ref = serial.backward(dy);
+
+  comm::World world(q * q * d);
+  world.run([&](comm::Communicator& c) {
+    TesseractContext ctx(c, q, d);
+    Rng wrng(700);
+    TesseractTransformerLayer layer(ctx, pb.h, pb.heads, wrng);
+    Tensor yl = layer.forward(distribute_activation(ctx.comms(), x));
+    Tensor y = collect_activation(ctx.comms(), yl, pb.b, pb.s, pb.h);
+    EXPECT_LT(max_abs_diff(y, y_ref), kTol);
+    Tensor dxl = layer.backward(distribute_activation(ctx.comms(), dy));
+    Tensor dx = collect_activation(ctx.comms(), dxl, pb.b, pb.s, pb.h);
+    EXPECT_LT(max_abs_diff(dx, dx_ref), kTol);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, TesseractLayerSweep,
+                         ::testing::Values(GridCase{1, 1}, GridCase{2, 1},
+                                           GridCase{2, 2}, GridCase{3, 2},
+                                           GridCase{4, 2}));
+
+// ---- Megatron baseline -----------------------------------------------------
+
+class MegatronSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MegatronSweep, FeedForwardMatchesSerial) {
+  const int p = GetParam();
+  const Problem pb{4, 3, 8 * p, 2 * p};
+  Rng data_rng(80);
+  Tensor x = random_normal({pb.b, pb.s, pb.h}, data_rng);
+  Tensor dy = random_normal({pb.b, pb.s, pb.h}, data_rng);
+
+  Rng serial_rng(800);
+  nn::FeedForward serial(pb.h, serial_rng);
+  Tensor y_ref = serial.forward(x);
+  Tensor dx_ref = serial.backward(dy);
+
+  comm::World world(p);
+  world.run([&](comm::Communicator& c) {
+    MegatronContext ctx(c);
+    Rng wrng(800);
+    MegatronFeedForward ffn(ctx, pb.h, wrng);
+    Tensor y = ffn.forward(x);
+    EXPECT_LT(max_abs_diff(y, y_ref), kTol);
+    Tensor dx = ffn.backward(dy);
+    EXPECT_LT(max_abs_diff(dx, dx_ref), kTol);
+  });
+}
+
+TEST_P(MegatronSweep, AttentionMatchesSerial) {
+  const int p = GetParam();
+  const Problem pb{4, 3, 8 * p, 2 * p};
+  Rng data_rng(81);
+  Tensor x = random_normal({pb.b, pb.s, pb.h}, data_rng);
+  Tensor dy = random_normal({pb.b, pb.s, pb.h}, data_rng);
+
+  Rng serial_rng(801);
+  nn::MultiHeadAttention serial(pb.h, pb.heads, serial_rng);
+  Tensor y_ref = serial.forward(x);
+  Tensor dx_ref = serial.backward(dy);
+
+  comm::World world(p);
+  world.run([&](comm::Communicator& c) {
+    MegatronContext ctx(c);
+    Rng wrng(801);
+    MegatronAttention attn(ctx, pb.h, pb.heads, wrng);
+    Tensor y = attn.forward(x);
+    EXPECT_LT(max_abs_diff(y, y_ref), kTol);
+    Tensor dx = attn.backward(dy);
+    EXPECT_LT(max_abs_diff(dx, dx_ref), kTol);
+  });
+}
+
+TEST_P(MegatronSweep, TransformerLayerMatchesSerial) {
+  const int p = GetParam();
+  const Problem pb{4, 3, 8 * p, 2 * p};
+  Rng data_rng(82);
+  Tensor x = random_normal({pb.b, pb.s, pb.h}, data_rng);
+  Tensor dy = random_normal({pb.b, pb.s, pb.h}, data_rng);
+
+  Rng serial_rng(802);
+  nn::TransformerLayer serial(pb.h, pb.heads, serial_rng);
+  Tensor y_ref = serial.forward(x);
+  Tensor dx_ref = serial.backward(dy);
+
+  comm::World world(p);
+  world.run([&](comm::Communicator& c) {
+    MegatronContext ctx(c);
+    Rng wrng(802);
+    MegatronTransformerLayer layer(ctx, pb.h, pb.heads, wrng);
+    Tensor y = layer.forward(x);
+    EXPECT_LT(max_abs_diff(y, y_ref), kTol);
+    Tensor dx = layer.backward(dy);
+    EXPECT_LT(max_abs_diff(dx, dx_ref), kTol);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, MegatronSweep,
+                         ::testing::Values(1, 2, 4, 8));
+
+// ---- Optimus is exactly Tesseract at d = 1 -----------------------------------
+
+TEST(Optimus, IdenticalToTesseractDepthOne) {
+  const Problem pb{4, 3, 16, 4};
+  Rng data_rng(90);
+  Tensor x = random_normal({pb.b, pb.s, pb.h}, data_rng);
+
+  Tensor y_opt;
+  Tensor y_tess;
+  {
+    comm::World world(4);
+    world.run([&](comm::Communicator& c) {
+      OptimusContext ctx(c, 2);
+      Rng wrng(900);
+      OptimusTransformerLayer layer(ctx, pb.h, pb.heads, wrng);
+      Tensor yl = layer.forward(distribute_activation(ctx.comms(), x));
+      Tensor y = collect_activation(ctx.comms(), yl, pb.b, pb.s, pb.h);
+      if (c.rank() == 0) y_opt = y;
+    });
+  }
+  {
+    comm::World world(4);
+    world.run([&](comm::Communicator& c) {
+      TesseractContext ctx(c, 2, 1);
+      Rng wrng(900);
+      TesseractTransformerLayer layer(ctx, pb.h, pb.heads, wrng);
+      Tensor yl = layer.forward(distribute_activation(ctx.comms(), x));
+      Tensor y = collect_activation(ctx.comms(), yl, pb.b, pb.s, pb.h);
+      if (c.rank() == 0) y_tess = y;
+    });
+  }
+  EXPECT_FLOAT_EQ(max_abs_diff(y_opt, y_tess), 0.0f);
+}
+
+// The paper's structural claim: the Tesseract forward pass needs NO
+// inter-depth communication (B is replicated; only dB sync uses the depth
+// lines). Verified on the byte counters.
+TEST(TesseractStructure, ForwardHasNoDepthTraffic) {
+  const Problem pb{8, 2, 16, 4};
+  Rng data_rng(91);
+  Tensor x = random_normal({pb.b, pb.s, pb.h}, data_rng);
+  comm::World world(8, topo::MachineSpec::meluxina());
+  world.run([&](comm::Communicator& c) {
+    TesseractContext ctx(c, 2, 2);
+    Rng wrng(901);
+    TesseractTransformerLayer layer(ctx, pb.h, pb.heads, wrng);
+    (void)layer.forward(distribute_activation(ctx.comms(), x));
+  });
+  // Depth lines are {i, i+4}: cross-node in the MeluXina mapping with
+  // q*q = 4 = gpus_per_node, so depth traffic would be inter-node bytes.
+  EXPECT_EQ(world.total_stats().bytes_inter_node, 0);
+  EXPECT_GT(world.total_stats().bytes_intra_node, 0);
+}
+
+TEST(TesseractStructure, BackwardUsesDepthForWeightGradsOnly) {
+  const Problem pb{8, 2, 16, 4};
+  Rng data_rng(92);
+  Tensor x = random_normal({pb.b, pb.s, pb.h}, data_rng);
+  Tensor dy = random_normal({pb.b, pb.s, pb.h}, data_rng);
+  comm::World world(8, topo::MachineSpec::meluxina());
+  world.run([&](comm::Communicator& c) {
+    TesseractContext ctx(c, 2, 2);
+    Rng wrng(902);
+    TesseractTransformerLayer layer(ctx, pb.h, pb.heads, wrng);
+    (void)layer.forward(distribute_activation(ctx.comms(), x));
+    (void)layer.backward(distribute_activation(ctx.comms(), dy));
+  });
+  // The forward pass alone has zero inter-node traffic (previous test);
+  // adding backward must introduce it — the depth all-reduce of dB.
+  EXPECT_GT(world.total_stats().bytes_inter_node, 0);
+}
+
+}  // namespace
+}  // namespace tsr::par

@@ -1,0 +1,209 @@
+// TesseractLinear against nn::Linear across grid shapes: identical
+// initialization, forward outputs, input gradients, weight/bias gradients,
+// plus the bias ownership protocol of Section 3.2.2.
+#include <gtest/gtest.h>
+
+#include "comm/communicator.hpp"
+#include "nn/linear.hpp"
+#include "parallel/dist.hpp"
+#include "parallel/tesseract_linear.hpp"
+#include "tensor/init.hpp"
+#include "tensor/kernels.hpp"
+
+namespace tsr::par {
+namespace {
+
+constexpr float kTol = 5e-4f;
+
+struct GridCase {
+  int q;
+  int d;
+};
+
+class TesseractLinearSweep : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(TesseractLinearSweep, MatchesSerialEndToEnd) {
+  const auto [q, d] = GetParam();
+  const std::int64_t b = 2 * q * d;
+  const std::int64_t s = 3;
+  const std::int64_t in = 4 * q;
+  const std::int64_t out = 8 * q;
+
+  Rng data_rng(50);
+  Tensor x = random_normal({b, s, in}, data_rng);
+  Tensor dy = random_normal({b, s, out}, data_rng);
+
+  Rng serial_rng(123);
+  nn::Linear serial(in, out, serial_rng);
+  // Make the serial bias non-trivial, mirrored below in the parallel run.
+  Rng brng(7);
+  normal_init(serial.b.value, brng, 0.0, 0.1);
+  Tensor y_ref = serial.forward(x);
+  Tensor dx_ref = serial.backward(dy);
+
+  comm::World world(q * q * d);
+  world.run([&](comm::Communicator& c) {
+    TesseractContext ctx(c, q, d);
+    Rng wrng(123);
+    Tensor full_w({in, out});
+    xavier_uniform(full_w, wrng);
+    Rng brng2(7);
+    Tensor full_b({out});
+    normal_init(full_b, brng2, 0.0, 0.1);
+    TesseractLinear lin(ctx, full_w, full_b);
+
+    // Shard the activation exactly as Fig. 4 prescribes.
+    Tensor xl = distribute_activation(ctx.comms(), x);
+    Tensor yl = lin.forward(xl);
+    Tensor y = collect_activation(ctx.comms(), yl, b, s, out);
+    EXPECT_LT(max_abs_diff(y, y_ref), kTol);
+
+    Tensor dyl = distribute_activation(ctx.comms(), dy);
+    Tensor dxl = lin.backward(dyl);
+    Tensor dx = collect_activation(ctx.comms(), dxl, b, s, in);
+    EXPECT_LT(max_abs_diff(dx, dx_ref), kTol);
+
+    // Weight gradient: my B-layout block of the serial gradient.
+    Tensor dw_ref_block = pdg::distribute_b_layout(ctx.comms(), serial.w.grad);
+    EXPECT_LT(max_abs_diff(lin.w.grad, dw_ref_block), kTol);
+
+    // Bias gradient: held on grid row 0 only, sharded by column.
+    if (lin.owns_bias()) {
+      const std::int64_t lout = out / q;
+      Tensor db_ref = slice_block(serial.b.grad.reshape({1, out}), 0,
+                                  ctx.j() * lout, 1, lout)
+                          .reshape({lout});
+      EXPECT_LT(max_abs_diff(lin.b.grad, db_ref), kTol);
+    } else {
+      EXPECT_FLOAT_EQ(max_abs(lin.b.grad), 0.0f);
+    }
+  });
+}
+
+TEST_P(TesseractLinearSweep, RngCtorMatchesSerialInit) {
+  const auto [q, d] = GetParam();
+  const std::int64_t in = 4 * q;
+  const std::int64_t out = 4 * q;
+  Rng serial_rng(321);
+  nn::Linear serial(in, out, serial_rng);
+  comm::World world(q * q * d);
+  world.run([&](comm::Communicator& c) {
+    TesseractContext ctx(c, q, d);
+    Rng wrng(321);
+    TesseractLinear lin(ctx, in, out, wrng);
+    Tensor ref_block = pdg::distribute_b_layout(ctx.comms(), serial.w.value);
+    EXPECT_FLOAT_EQ(max_abs_diff(lin.w.value, ref_block), 0.0f);
+  });
+}
+
+TEST_P(TesseractLinearSweep, GradAccumulationAcrossSteps) {
+  const auto [q, d] = GetParam();
+  const std::int64_t b = q * d;
+  const std::int64_t in = 2 * q;
+  const std::int64_t out = 2 * q;
+  Rng data_rng(60);
+  Tensor x = random_normal({b, 2, in}, data_rng);
+  Tensor dy = random_normal({b, 2, out}, data_rng);
+  comm::World world(q * q * d);
+  world.run([&](comm::Communicator& c) {
+    TesseractContext ctx(c, q, d);
+    Rng wrng(1);
+    TesseractLinear lin(ctx, in, out, wrng);
+    Tensor xl = distribute_activation(ctx.comms(), x);
+    Tensor dyl = distribute_activation(ctx.comms(), dy);
+    (void)lin.forward(xl);
+    (void)lin.backward(dyl);
+    Tensor once = lin.w.grad.clone();
+    (void)lin.forward(xl);
+    (void)lin.backward(dyl);
+    EXPECT_LT(max_abs_diff(lin.w.grad, scaled(once, 2.0f)), kTol);
+    lin.zero_grad();
+    EXPECT_FLOAT_EQ(max_abs(lin.w.grad), 0.0f);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Grids, TesseractLinearSweep,
+                         ::testing::Values(GridCase{1, 1}, GridCase{2, 1},
+                                           GridCase{2, 2}, GridCase{3, 1},
+                                           GridCase{3, 2}, GridCase{3, 3},
+                                           GridCase{4, 2}));
+
+TEST(TesseractLinear, NoBiasHasOneParam) {
+  comm::World world(4);
+  world.run([&](comm::Communicator& c) {
+    TesseractContext ctx(c, 2, 1);
+    Rng rng(1);
+    Tensor w({4, 4});
+    xavier_uniform(w, rng);
+    TesseractLinear lin(ctx, w, Tensor());
+    EXPECT_FALSE(lin.has_bias());
+    EXPECT_EQ(lin.params().size(), 1u);
+  });
+}
+
+TEST(TesseractLinear, BiasParamOnlyOnRowZero) {
+  comm::World world(8);
+  world.run([&](comm::Communicator& c) {
+    TesseractContext ctx(c, 2, 2);
+    Rng rng(1);
+    TesseractLinear lin(ctx, 4, 4, rng);
+    if (ctx.i() == 0) {
+      EXPECT_TRUE(lin.owns_bias());
+      EXPECT_EQ(lin.params().size(), 2u);
+    } else {
+      EXPECT_FALSE(lin.owns_bias());
+      EXPECT_EQ(lin.params().size(), 1u);
+    }
+  });
+}
+
+TEST(TesseractLinear, RejectsIndivisibleFeatures) {
+  comm::World world(4);
+  EXPECT_THROW(world.run([&](comm::Communicator& c) {
+                 TesseractContext ctx(c, 2, 1);
+                 Rng rng(1);
+                 TesseractLinear lin(ctx, 5, 4, rng);  // 5 % 2 != 0
+               }),
+               std::invalid_argument);
+}
+
+TEST(QkvBlockedLayout, PermutationIsBijective) {
+  // Every serial column must land somewhere, exactly once.
+  const std::int64_t h = 12;
+  Tensor w({1, 3 * h});
+  for (std::int64_t c = 0; c < 3 * h; ++c) w.at(0, c) = static_cast<float>(c);
+  Tensor p = qkv_blocked_layout(w, /*blocks=*/2, /*heads=*/4);
+  std::vector<int> seen(static_cast<std::size_t>(3 * h), 0);
+  for (std::int64_t c = 0; c < 3 * h; ++c) {
+    seen[static_cast<std::size_t>(p.at(0, c))]++;
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST(QkvBlockedLayout, BlockContainsItsHeadsQKV) {
+  // h = 8, 4 heads (hd = 2), 2 blocks: block 0 = heads {0,1}.
+  const std::int64_t h = 8;
+  Tensor w({1, 3 * h});
+  for (std::int64_t c = 0; c < 3 * h; ++c) w.at(0, c) = static_cast<float>(c);
+  Tensor p = qkv_blocked_layout(w, 2, 4);
+  // Block 0 layout: [Q head0 | Q head1 | K head0 | K head1 | V head0 | V head1].
+  EXPECT_FLOAT_EQ(p.at(0, 0), 0.0f);       // Q head0 elem0 (serial col 0)
+  EXPECT_FLOAT_EQ(p.at(0, 4), 8.0f);       // K head0 elem0 (serial col h)
+  EXPECT_FLOAT_EQ(p.at(0, 8), 16.0f);      // V head0 elem0 (serial col 2h)
+  // Block 1 starts with Q head2 (serial col 4).
+  EXPECT_FLOAT_EQ(p.at(0, 12), 4.0f);
+}
+
+TEST(QkvBlockedLayout, BiasVariant) {
+  Tensor b({6});  // h = 2, 2 heads, hd = 1
+  for (std::int64_t i = 0; i < 6; ++i) b.at(i) = static_cast<float>(i);
+  Tensor p = qkv_blocked_layout(b, 2, 2);
+  // Block 0 = [Q h0, K h0, V h0] = serial {0, 2, 4}.
+  EXPECT_FLOAT_EQ(p.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(p.at(1), 2.0f);
+  EXPECT_FLOAT_EQ(p.at(2), 4.0f);
+  EXPECT_FLOAT_EQ(p.at(3), 1.0f);
+}
+
+}  // namespace
+}  // namespace tsr::par

@@ -1,0 +1,125 @@
+// Virtual cluster runtime: barrier semantics, SPMD execution, exception
+// propagation and simulated clocks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "runtime/barrier.hpp"
+#include "runtime/cluster.hpp"
+#include "runtime/sim_clock.hpp"
+
+namespace tsr::rt {
+namespace {
+
+TEST(Barrier, RejectsNonPositiveCount) {
+  EXPECT_THROW(Barrier(0), std::invalid_argument);
+  EXPECT_THROW(Barrier(-3), std::invalid_argument);
+}
+
+TEST(Barrier, SingleThreadPassesThrough) {
+  Barrier b(1);
+  b.arrive_and_wait();
+  b.arrive_and_wait();  // reusable
+}
+
+TEST(Barrier, SynchronizesPhases) {
+  constexpr int kThreads = 8;
+  constexpr int kPhases = 50;
+  Barrier barrier(kThreads);
+  std::atomic<int> phase_counter{0};
+  std::vector<std::thread> threads;
+  std::atomic<bool> ok{true};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int p = 0; p < kPhases; ++p) {
+        phase_counter.fetch_add(1);
+        barrier.arrive_and_wait();
+        // After the barrier, all kThreads arrivals of this phase happened.
+        if (phase_counter.load() < kThreads * (p + 1)) ok = false;
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_TRUE(ok.load());
+  EXPECT_EQ(phase_counter.load(), kThreads * kPhases);
+}
+
+TEST(RunSpmd, RunsEveryRankExactlyOnce) {
+  std::vector<std::atomic<int>> counts(16);
+  run_spmd(16, [&](int r) { counts[static_cast<std::size_t>(r)]++; });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(RunSpmd, SingleRankFastPath) {
+  int called = 0;
+  run_spmd(1, [&](int r) {
+    EXPECT_EQ(r, 0);
+    ++called;
+  });
+  EXPECT_EQ(called, 1);
+}
+
+TEST(RunSpmd, RejectsNonPositiveRanks) {
+  EXPECT_THROW(run_spmd(0, [](int) {}), std::invalid_argument);
+}
+
+TEST(RunSpmd, PropagatesException) {
+  EXPECT_THROW(
+      run_spmd(4,
+               [&](int r) {
+                 if (r == 2) throw std::runtime_error("rank 2 boom");
+               }),
+      std::runtime_error);
+}
+
+TEST(RunSpmd, JoinsAllRanksEvenOnFailure) {
+  std::atomic<int> finished{0};
+  try {
+    run_spmd(6, [&](int r) {
+      if (r == 0) throw std::logic_error("early");
+      finished.fetch_add(1);
+    });
+    FAIL() << "expected throw";
+  } catch (const std::logic_error&) {
+  }
+  EXPECT_EQ(finished.load(), 5);
+}
+
+TEST(SimClock, AdvanceAccumulates) {
+  SimClock c;
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+  c.advance(1.5);
+  c.advance(0.5);
+  EXPECT_DOUBLE_EQ(c.now(), 2.0);
+}
+
+TEST(SimClock, NegativeAdvanceIgnored) {
+  SimClock c;
+  c.advance(1.0);
+  c.advance(-5.0);
+  EXPECT_DOUBLE_EQ(c.now(), 1.0);
+}
+
+TEST(SimClock, AdvanceToIsMonotone) {
+  SimClock c;
+  c.advance_to(3.0);
+  EXPECT_DOUBLE_EQ(c.now(), 3.0);
+  c.advance_to(1.0);  // message from the past does not rewind the clock
+  EXPECT_DOUBLE_EQ(c.now(), 3.0);
+}
+
+TEST(SimClock, Reset) {
+  SimClock c;
+  c.advance(9.0);
+  c.reset();
+  EXPECT_DOUBLE_EQ(c.now(), 0.0);
+  c.reset(2.0);
+  EXPECT_DOUBLE_EQ(c.now(), 2.0);
+}
+
+}  // namespace
+}  // namespace tsr::rt

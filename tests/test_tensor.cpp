@@ -1,0 +1,234 @@
+// Unit tests for the dense tensor core: construction, views, element access,
+// elementwise kernels, reductions and block movement.
+#include <gtest/gtest.h>
+
+#include "tensor/kernels.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tsr {
+namespace {
+
+TEST(Shape, NumelAndToString) {
+  EXPECT_EQ(shape_numel({}), 1);
+  EXPECT_EQ(shape_numel({0}), 0);
+  EXPECT_EQ(shape_numel({2, 3, 4}), 24);
+  EXPECT_EQ(shape_to_string({2, 3}), "[2, 3]");
+  EXPECT_EQ(shape_to_string({}), "[]");
+}
+
+TEST(Shape, NegativeDimensionThrows) {
+  EXPECT_THROW(shape_numel({2, -1}), std::invalid_argument);
+}
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.ndim(), 0);
+  EXPECT_EQ(t.numel(), 0);
+}
+
+TEST(Tensor, ZerosOnesFull) {
+  Tensor z = Tensor::zeros({2, 3});
+  Tensor o = Tensor::ones({2, 3});
+  Tensor f = Tensor::full({2, 3}, 2.5f);
+  for (std::int64_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(z.at(i), 0.0f);
+    EXPECT_EQ(o.at(i), 1.0f);
+    EXPECT_EQ(f.at(i), 2.5f);
+  }
+}
+
+TEST(Tensor, FromAndOf) {
+  Tensor t = Tensor::from({1, 2, 3, 4, 5, 6}, {2, 3});
+  EXPECT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_EQ(t.at(1, 2), 6.0f);
+  Tensor v = Tensor::of({7, 8, 9});
+  EXPECT_EQ(v.ndim(), 1);
+  EXPECT_EQ(v.at(2), 9.0f);
+}
+
+TEST(Tensor, FromRejectsWrongCount) {
+  EXPECT_THROW(Tensor::from({1, 2, 3}, {2, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, RowMajorIndexing) {
+  Tensor t = Tensor::from({0, 1, 2, 3, 4, 5, 6, 7}, {2, 2, 2});
+  EXPECT_EQ(t.at(0, 0, 0), 0.0f);
+  EXPECT_EQ(t.at(0, 0, 1), 1.0f);
+  EXPECT_EQ(t.at(0, 1, 0), 2.0f);
+  EXPECT_EQ(t.at(1, 0, 0), 4.0f);
+  EXPECT_EQ(t.at(1, 1, 1), 7.0f);
+}
+
+TEST(Tensor, FourDimIndexing) {
+  Tensor t({2, 3, 4, 5});
+  t.fill(0.0f);
+  t.at(1, 2, 3, 4) = 42.0f;
+  EXPECT_EQ(t.at(2 * 3 * 4 * 5 - 1), 42.0f);
+}
+
+TEST(Tensor, NegativeDimAccessor) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.dim(-1), 4);
+  EXPECT_EQ(t.dim(-2), 3);
+  EXPECT_EQ(t.dim(-3), 2);
+  EXPECT_THROW(t.dim(3), std::invalid_argument);
+}
+
+TEST(Tensor, ReshapeSharesStorage) {
+  Tensor t = Tensor::from({1, 2, 3, 4}, {2, 2});
+  Tensor v = t.reshape({4});
+  EXPECT_TRUE(t.shares_storage_with(v));
+  v.at(0) = 99.0f;
+  EXPECT_EQ(t.at(0, 0), 99.0f);
+}
+
+TEST(Tensor, ReshapeRejectsWrongNumel) {
+  Tensor t({2, 2});
+  EXPECT_THROW(t.reshape({3}), std::invalid_argument);
+}
+
+TEST(Tensor, AsMatrixCollapsesLeadingDims) {
+  Tensor t({2, 3, 4});
+  Tensor m = t.as_matrix();
+  EXPECT_EQ(m.dim(0), 6);
+  EXPECT_EQ(m.dim(1), 4);
+  EXPECT_TRUE(t.shares_storage_with(m));
+  Tensor v = Tensor::of({1, 2, 3}).as_matrix();
+  EXPECT_EQ(v.dim(0), 1);
+  EXPECT_EQ(v.dim(1), 3);
+}
+
+TEST(Tensor, CloneIsDeep) {
+  Tensor t = Tensor::from({1, 2}, {2});
+  Tensor c = t.clone();
+  EXPECT_FALSE(t.shares_storage_with(c));
+  c.at(0) = 50.0f;
+  EXPECT_EQ(t.at(0), 1.0f);
+}
+
+TEST(Tensor, CopyFrom) {
+  Tensor a = Tensor::zeros({4});
+  Tensor b = Tensor::from({1, 2, 3, 4}, {4});
+  a.copy_from(b);
+  EXPECT_EQ(a.at(3), 4.0f);
+  Tensor wrong({3});
+  EXPECT_THROW(a.copy_from(wrong), std::invalid_argument);
+}
+
+// ---- kernels ---------------------------------------------------------------
+
+TEST(Kernels, AddSubMul) {
+  Tensor a = Tensor::from({1, 2, 3}, {3});
+  Tensor b = Tensor::from({10, 20, 30}, {3});
+  EXPECT_EQ(add(a, b).at(2), 33.0f);
+  EXPECT_EQ(sub(b, a).at(1), 18.0f);
+  EXPECT_EQ(mul(a, b).at(0), 10.0f);
+  Tensor c({2});
+  EXPECT_THROW(add(a, c), std::invalid_argument);
+}
+
+TEST(Kernels, AxpyAndScale) {
+  Tensor x = Tensor::from({1, 1}, {2});
+  Tensor y = Tensor::from({2, 3}, {2});
+  axpy(2.0f, x, y);
+  EXPECT_EQ(y.at(0), 4.0f);
+  EXPECT_EQ(y.at(1), 5.0f);
+  scale(y, 0.5f);
+  EXPECT_EQ(y.at(0), 2.0f);
+  Tensor s = scaled(x, 3.0f);
+  EXPECT_EQ(s.at(0), 3.0f);
+  EXPECT_EQ(x.at(0), 1.0f);  // source untouched
+}
+
+TEST(Kernels, AddBiasBroadcastsOverLastDim) {
+  Tensor x = Tensor::zeros({2, 2, 3});
+  Tensor b = Tensor::from({1, 2, 3}, {3});
+  add_bias(x, b);
+  EXPECT_EQ(x.at(0, 0, 0), 1.0f);
+  EXPECT_EQ(x.at(1, 1, 2), 3.0f);
+}
+
+TEST(Kernels, BiasGradSumsLeadingDims) {
+  Tensor dy = Tensor::ones({2, 3, 4});
+  Tensor g = bias_grad(dy);
+  ASSERT_EQ(g.dim(0), 4);
+  for (std::int64_t i = 0; i < 4; ++i) EXPECT_EQ(g.at(i), 6.0f);
+}
+
+TEST(Kernels, Reductions) {
+  Tensor t = Tensor::from({-3, 1, 2}, {3});
+  EXPECT_FLOAT_EQ(sum(t), 0.0f);
+  EXPECT_FLOAT_EQ(mean(t), 0.0f);
+  EXPECT_FLOAT_EQ(max_abs(t), 3.0f);
+  Tensor u = Tensor::from({-3, 1, 5}, {3});
+  EXPECT_FLOAT_EQ(max_abs_diff(t, u), 3.0f);
+}
+
+TEST(Kernels, Allclose) {
+  Tensor a = Tensor::from({1.0f, 2.0f}, {2});
+  Tensor b = Tensor::from({1.0f + 1e-6f, 2.0f}, {2});
+  EXPECT_TRUE(allclose(a, b));
+  Tensor c = Tensor::from({1.5f, 2.0f}, {2});
+  EXPECT_FALSE(allclose(a, c));
+  EXPECT_FALSE(allclose(a, Tensor::zeros({3})));
+}
+
+TEST(Kernels, SliceAndPasteBlockRoundTrip) {
+  Tensor m = Tensor::from({0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, {3, 4});
+  Tensor blk = slice_block(m, 1, 1, 2, 2);
+  EXPECT_EQ(blk.at(0, 0), 5.0f);
+  EXPECT_EQ(blk.at(1, 1), 10.0f);
+  Tensor dst = Tensor::zeros({3, 4});
+  paste_block(dst, blk, 1, 1);
+  EXPECT_EQ(dst.at(2, 2), 10.0f);
+  EXPECT_EQ(dst.at(0, 0), 0.0f);
+  EXPECT_THROW(slice_block(m, 2, 3, 2, 2), std::invalid_argument);
+}
+
+TEST(Kernels, Transpose2D) {
+  Tensor m = Tensor::from({1, 2, 3, 4, 5, 6}, {2, 3});
+  Tensor t = transpose2d(m);
+  ASSERT_EQ(t.dim(0), 3);
+  ASSERT_EQ(t.dim(1), 2);
+  EXPECT_EQ(t.at(2, 1), 6.0f);
+  EXPECT_EQ(t.at(0, 1), 4.0f);
+}
+
+TEST(Kernels, HcatVcat) {
+  Tensor a = Tensor::from({1, 2}, {2, 1});
+  Tensor b = Tensor::from({3, 4}, {2, 1});
+  Tensor h = hcat({a, b});
+  ASSERT_EQ(h.dim(1), 2);
+  EXPECT_EQ(h.at(0, 1), 3.0f);
+  Tensor v = vcat({a, b});
+  ASSERT_EQ(v.dim(0), 4);
+  EXPECT_EQ(v.at(2, 0), 3.0f);
+}
+
+// Property sweep: slice/paste partition reassembly is exact for many shapes.
+class BlockRoundTrip : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(BlockRoundTrip, PartitionReassembles) {
+  const auto [rows, cols] = GetParam();
+  Tensor m({rows, cols});
+  for (std::int64_t i = 0; i < m.numel(); ++i) m.at(i) = static_cast<float>(i);
+  // Cut into 2x2 quadrants when divisible, else 1x1.
+  const int br = rows % 2 == 0 ? rows / 2 : rows;
+  const int bc = cols % 2 == 0 ? cols / 2 : cols;
+  Tensor out = Tensor::zeros({rows, cols});
+  for (int r0 = 0; r0 < rows; r0 += br) {
+    for (int c0 = 0; c0 < cols; c0 += bc) {
+      paste_block(out, slice_block(m, r0, c0, br, bc), r0, c0);
+    }
+  }
+  EXPECT_FLOAT_EQ(max_abs_diff(m, out), 0.0f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BlockRoundTrip,
+                         ::testing::Values(std::pair{2, 2}, std::pair{4, 6},
+                                           std::pair{3, 5}, std::pair{8, 2},
+                                           std::pair{1, 7}, std::pair{16, 16}));
+
+}  // namespace
+}  // namespace tsr

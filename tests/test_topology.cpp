@@ -1,0 +1,168 @@
+// Grid coordinate algebra, machine model, and analytic collective costs.
+#include <gtest/gtest.h>
+
+#include "topology/cost.hpp"
+#include "topology/grid.hpp"
+#include "topology/machine_spec.hpp"
+
+namespace tsr::topo {
+namespace {
+
+TEST(Grid3D, RejectsBadShapes) {
+  EXPECT_THROW(Grid3D(0, 1), std::invalid_argument);
+  EXPECT_THROW(Grid3D(2, 0), std::invalid_argument);
+}
+
+TEST(Grid3D, SizeAndLegality) {
+  Grid3D g(4, 2);
+  EXPECT_EQ(g.size(), 32);
+  EXPECT_TRUE(g.paper_legal());
+  Grid3D too_deep(2, 3);  // d > q violates the paper's constraint
+  EXPECT_FALSE(too_deep.paper_legal());
+}
+
+TEST(Grid3D, RankCoordRoundTrip) {
+  Grid3D g(3, 2);
+  for (int rank = 0; rank < g.size(); ++rank) {
+    const Coord3 c = g.coord_of(rank);
+    EXPECT_EQ(g.rank_of(c.i, c.j, c.k), rank);
+  }
+}
+
+TEST(Grid3D, DepthMajorLayout) {
+  Grid3D g(2, 2);
+  // Layer k occupies the contiguous rank range [k*q*q, (k+1)*q*q).
+  EXPECT_EQ(g.rank_of(0, 0, 0), 0);
+  EXPECT_EQ(g.rank_of(0, 1, 0), 1);
+  EXPECT_EQ(g.rank_of(1, 0, 0), 2);
+  EXPECT_EQ(g.rank_of(0, 0, 1), 4);
+}
+
+TEST(Grid3D, OutOfRangeThrows) {
+  Grid3D g(2, 2);
+  EXPECT_THROW(g.rank_of(2, 0, 0), std::out_of_range);
+  EXPECT_THROW(g.rank_of(0, 0, 2), std::out_of_range);
+  EXPECT_THROW(g.coord_of(8), std::out_of_range);
+  EXPECT_THROW(g.coord_of(-1), std::out_of_range);
+}
+
+TEST(Grid3D, GroupsPartitionTheGrid) {
+  Grid3D g(4, 3);
+  // Row groups: q*d of them, q members each, disjoint union = all ranks.
+  std::vector<int> seen(static_cast<std::size_t>(g.size()), 0);
+  for (int k = 0; k < 3; ++k) {
+    for (int i = 0; i < 4; ++i) {
+      for (int r : g.row_group(i, k)) seen[static_cast<std::size_t>(r)]++;
+    }
+  }
+  for (int c : seen) EXPECT_EQ(c, 1);
+
+  // Depth groups cover each (i, j) with d members.
+  std::fill(seen.begin(), seen.end(), 0);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      const std::vector<int> dg = g.depth_group(i, j);
+      EXPECT_EQ(dg.size(), 3u);
+      for (int r : dg) seen[static_cast<std::size_t>(r)]++;
+    }
+  }
+  for (int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(Grid3D, GroupOrdering) {
+  Grid3D g(3, 2);
+  const std::vector<int> row = g.row_group(1, 1);
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    const Coord3 c = g.coord_of(row[j]);
+    EXPECT_EQ(c.i, 1);
+    EXPECT_EQ(c.k, 1);
+    EXPECT_EQ(c.j, static_cast<int>(j));
+  }
+  const std::vector<int> col = g.col_group(2, 0);
+  for (std::size_t i = 0; i < col.size(); ++i) {
+    EXPECT_EQ(g.coord_of(col[i]).i, static_cast<int>(i));
+  }
+}
+
+TEST(Grid3D, LayerGroupRowMajor) {
+  Grid3D g(2, 2);
+  EXPECT_EQ(g.layer_group(1), (std::vector<int>{4, 5, 6, 7}));
+}
+
+TEST(Grid3D, ShapeString) {
+  EXPECT_EQ(Grid3D(4, 2).shape_string(), "[4,4,2]");
+}
+
+TEST(MachineSpec, NodePlacement) {
+  MachineSpec spec = MachineSpec::meluxina();
+  EXPECT_EQ(spec.gpus_per_node, 4);
+  EXPECT_EQ(spec.node_of(0), 0);
+  EXPECT_EQ(spec.node_of(3), 0);
+  EXPECT_EQ(spec.node_of(4), 1);
+  EXPECT_EQ(spec.link(0, 0), LinkType::Self);
+  EXPECT_EQ(spec.link(0, 3), LinkType::IntraNode);
+  EXPECT_EQ(spec.link(3, 4), LinkType::InterNode);
+}
+
+TEST(MachineSpec, MeluxinaConstants) {
+  MachineSpec spec = MachineSpec::meluxina();
+  // NVLink 200 GB/s, InfiniBand 200 Gb/s = 25 GB/s (paper Section 4).
+  EXPECT_DOUBLE_EQ(1.0 / spec.intra_node.beta, 200e9);
+  EXPECT_DOUBLE_EQ(1.0 / spec.inter_node.beta, 25e9);
+  EXPECT_GT(spec.inter_node.alpha, spec.intra_node.alpha);
+}
+
+TEST(MachineSpec, TransferTime) {
+  MachineSpec spec = MachineSpec::meluxina();
+  EXPECT_DOUBLE_EQ(spec.transfer_time(0, 0, 1 << 20), 0.0);
+  const double intra = spec.transfer_time(0, 1, 1 << 20);
+  const double inter = spec.transfer_time(0, 4, 1 << 20);
+  EXPECT_GT(inter, intra);
+}
+
+TEST(MachineSpec, GemmTimeSaturates) {
+  MachineSpec spec = MachineSpec::meluxina();
+  // Efficiency grows with work: time per FLOP falls as the kernel grows.
+  const double t_small = spec.gemm_time(64, 64, 64);
+  const double t_large = spec.gemm_time(2048, 2048, 2048);
+  const double flops_small = 2.0 * 64 * 64 * 64;
+  const double flops_large = 2.0 * 2048 * 2048 * 2048;
+  EXPECT_GT(t_small / flops_small, t_large / flops_large);
+  // Large kernels approach (never exceed) peak.
+  EXPECT_GT(flops_large / t_large, 0.5 * spec.peak_flops);
+  EXPECT_LT(flops_large / t_large, spec.peak_flops);
+}
+
+TEST(MachineSpec, ZeroCostIsFree) {
+  MachineSpec spec = MachineSpec::zero_cost();
+  EXPECT_DOUBLE_EQ(spec.transfer_time(0, 9, 1 << 30), 0.0);
+  EXPECT_DOUBLE_EQ(spec.gemm_time(512, 512, 512), 0.0);
+  EXPECT_DOUBLE_EQ(spec.memory_bound_time(1 << 30), 0.0);
+}
+
+TEST(Cost, ScalesWithGroupAndBytes) {
+  MachineSpec spec = MachineSpec::meluxina();
+  const std::vector<int> g2{0, 1};
+  const std::vector<int> g4{0, 1, 2, 3};
+  EXPECT_LT(broadcast_cost(spec, g2, 1024), broadcast_cost(spec, g4, 1024));
+  EXPECT_LT(broadcast_cost(spec, g4, 1024), broadcast_cost(spec, g4, 1 << 20));
+  EXPECT_DOUBLE_EQ(broadcast_cost(spec, {0}, 1 << 20), 0.0);
+  EXPECT_DOUBLE_EQ(all_reduce_cost(spec, {3}, 1 << 20), 0.0);
+}
+
+TEST(Cost, InterNodeGroupsAreSlower) {
+  MachineSpec spec = MachineSpec::meluxina();
+  const std::vector<int> intra{0, 1, 2, 3};
+  const std::vector<int> inter{0, 4, 8, 12};
+  EXPECT_LT(all_reduce_cost(spec, intra, 1 << 20),
+            all_reduce_cost(spec, inter, 1 << 20));
+  EXPECT_LT(reduce_scatter_cost(spec, intra, 1 << 20),
+            reduce_scatter_cost(spec, inter, 1 << 20));
+  EXPECT_LT(all_gather_cost(spec, intra, 1 << 18),
+            all_gather_cost(spec, inter, 1 << 18));
+  EXPECT_DOUBLE_EQ(reduce_cost(spec, intra, 1 << 20),
+                   broadcast_cost(spec, intra, 1 << 20));
+}
+
+}  // namespace
+}  // namespace tsr::topo

@@ -1,0 +1,123 @@
+// ZeRO-1 optimizer-state sharding: equivalence with plain (averaged-
+// gradient) Adam, state-memory reduction, ragged sizes, and composition
+// with Tesseract data parallelism.
+#include <gtest/gtest.h>
+
+#include "comm/communicator.hpp"
+#include "nn/optimizer.hpp"
+#include "parallel/dist.hpp"
+#include "parallel/tesseract_transformer.hpp"
+#include "parallel/zero.hpp"
+#include "tensor/init.hpp"
+#include "tensor/kernels.hpp"
+
+namespace tsr::par {
+namespace {
+
+class ZeroSweep : public ::testing::TestWithParam<std::pair<int, std::int64_t>> {
+};
+
+TEST_P(ZeroSweep, MatchesPlainAdamOnAveragedGradients) {
+  const auto [g, numel] = GetParam();
+
+  // Reference: plain Adam on the averaged gradient, several steps.
+  Rng rng(1);
+  nn::Param ref({numel});
+  normal_init(ref.value, rng, 0.0, 1.0);
+  Tensor init = ref.value.clone();
+  nn::Adam plain(0.05f, 0.9f, 0.999f, 1e-8f, 0.01f);
+  std::vector<Tensor> grads;  // per-step per-replica gradients
+  Rng grng(2);
+  for (int step = 0; step < 4; ++step) {
+    Tensor avg = Tensor::zeros({numel});
+    for (int r = 0; r < g; ++r) {
+      Tensor gr = random_normal({numel}, grng);
+      grads.push_back(gr);
+      axpy(1.0f / static_cast<float>(g), gr, avg);
+    }
+    ref.grad.copy_from(avg);
+    std::vector<nn::Param*> params{&ref};
+    plain.step(params);
+  }
+
+  comm::World world(g);
+  world.run([&](comm::Communicator& c) {
+    nn::Param p({numel});
+    p.value.copy_from(init);
+    ZeroAdam zero(c, 0.05f, 0.9f, 0.999f, 1e-8f, 0.01f);
+    for (int step = 0; step < 4; ++step) {
+      // Each replica contributes its own gradient.
+      p.grad.copy_from(
+          grads[static_cast<std::size_t>(step * g + c.rank())]);
+      std::vector<nn::Param*> params{&p};
+      zero.step(params);
+    }
+    EXPECT_LT(max_abs_diff(p.value, ref.value), 1e-5f)
+        << "g=" << g << " numel=" << numel;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, ZeroSweep,
+                         ::testing::Values(std::pair{1, std::int64_t{16}},
+                                           std::pair{2, std::int64_t{16}},
+                                           std::pair{4, std::int64_t{64}},
+                                           std::pair{4, std::int64_t{10}},
+                                           std::pair{3, std::int64_t{17}}));
+
+TEST(Zero, StateShardedAcrossRanks) {
+  const std::int64_t numel = 64;
+  const int g = 4;
+  comm::World world(g);
+  world.run([&](comm::Communicator& c) {
+    nn::Param p({numel});
+    p.value.fill(1.0f);
+    p.grad.fill(0.1f);
+    ZeroAdam zero(c, 0.01f);
+    std::vector<nn::Param*> params{&p};
+    zero.step(params);
+    // Plain Adam would hold 2 * numel floats; ZeRO holds 2 * numel / g.
+    EXPECT_EQ(zero.state_bytes(),
+              2 * (numel / g) * static_cast<std::int64_t>(sizeof(float)));
+  });
+}
+
+TEST(Zero, ComposesWithTesseractDataParallel) {
+  // Two data-parallel replicas of a [2,2,1] Tesseract layer train with
+  // ZeroAdam sharded across the replica pair; the replicas stay in sync and
+  // track a serial SGD... here: track each other exactly.
+  const std::int64_t b = 4, s = 2, h = 16, heads = 4;
+  const int group = 4;
+  Rng data_rng(3);
+  Tensor x0 = random_normal({b, s, h}, data_rng);
+  Tensor x1 = random_normal({b, s, h}, data_rng);
+  Tensor dy = random_normal({b, s, h}, data_rng);
+
+  comm::World world(2 * group);
+  world.run([&](comm::Communicator& c) {
+    const int replica = c.rank() / group;
+    comm::Communicator tp = c.split(replica, c.rank());
+    comm::Communicator dp = c.split(c.rank() % group, replica);
+
+    TesseractContext ctx(tp, 2, 1);
+    Rng wrng(4);
+    TesseractTransformerLayer layer(ctx, h, heads, wrng);
+    ZeroAdam zero(dp, 0.01f);
+    for (int step = 0; step < 2; ++step) {
+      const Tensor& my_x = replica == 0 ? x0 : x1;
+      (void)layer.forward(distribute_activation(ctx.comms(), my_x));
+      layer.zero_grad();
+      (void)layer.backward(distribute_activation(ctx.comms(), dy));
+      std::vector<nn::Param*> params = layer.params();
+      zero.step(params);
+    }
+    // After ZeRO's internal all-gather both replicas must hold identical
+    // weights: verify against the partner across the dp pair.
+    Tensor w = layer.ffn.fc1.w.value.clone();
+    Tensor other = w.clone();
+    dp.broadcast(other, 0);  // replica 0's copy
+    EXPECT_FLOAT_EQ(max_abs_diff(w, other), 0.0f);
+  });
+}
+
+}  // namespace
+}  // namespace tsr::par
