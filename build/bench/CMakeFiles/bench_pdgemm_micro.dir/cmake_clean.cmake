@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pdgemm_micro.dir/bench_pdgemm_micro.cpp.o"
+  "CMakeFiles/bench_pdgemm_micro.dir/bench_pdgemm_micro.cpp.o.d"
+  "bench_pdgemm_micro"
+  "bench_pdgemm_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pdgemm_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scaling_projection.dir/bench_scaling_projection.cpp.o"
+  "CMakeFiles/bench_scaling_projection.dir/bench_scaling_projection.cpp.o.d"
+  "bench_scaling_projection"
+  "bench_scaling_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scaling_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_grid_explorer.dir/grid_explorer.cpp.o"
+  "CMakeFiles/example_grid_explorer.dir/grid_explorer.cpp.o.d"
+  "example_grid_explorer"
+  "example_grid_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_grid_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_hybrid_parallel.dir/hybrid_parallel.cpp.o"
+  "CMakeFiles/example_hybrid_parallel.dir/hybrid_parallel.cpp.o.d"
+  "example_hybrid_parallel"
+  "example_hybrid_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_hybrid_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_lm_training.dir/lm_training.cpp.o"
+  "CMakeFiles/example_lm_training.dir/lm_training.cpp.o.d"
+  "example_lm_training"
+  "example_lm_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_lm_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

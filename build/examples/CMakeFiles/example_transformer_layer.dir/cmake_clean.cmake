@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_transformer_layer.dir/transformer_layer.cpp.o"
+  "CMakeFiles/example_transformer_layer.dir/transformer_layer.cpp.o.d"
+  "example_transformer_layer"
+  "example_transformer_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_transformer_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_vit_training.dir/vit_training.cpp.o"
+  "CMakeFiles/example_vit_training.dir/vit_training.cpp.o.d"
+  "example_vit_training"
+  "example_vit_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_vit_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

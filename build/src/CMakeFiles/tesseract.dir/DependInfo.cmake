@@ -1,0 +1,69 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/communicator.cpp" "src/CMakeFiles/tesseract.dir/comm/communicator.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/comm/communicator.cpp.o.d"
+  "/root/repo/src/comm/mailbox.cpp" "src/CMakeFiles/tesseract.dir/comm/mailbox.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/comm/mailbox.cpp.o.d"
+  "/root/repo/src/comm/stats.cpp" "src/CMakeFiles/tesseract.dir/comm/stats.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/comm/stats.cpp.o.d"
+  "/root/repo/src/nn/activation.cpp" "src/CMakeFiles/tesseract.dir/nn/activation.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/nn/activation.cpp.o.d"
+  "/root/repo/src/nn/attention.cpp" "src/CMakeFiles/tesseract.dir/nn/attention.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/nn/attention.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/CMakeFiles/tesseract.dir/nn/dropout.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/nn/dropout.cpp.o.d"
+  "/root/repo/src/nn/embedding.cpp" "src/CMakeFiles/tesseract.dir/nn/embedding.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/nn/embedding.cpp.o.d"
+  "/root/repo/src/nn/feedforward.cpp" "src/CMakeFiles/tesseract.dir/nn/feedforward.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/nn/feedforward.cpp.o.d"
+  "/root/repo/src/nn/layernorm.cpp" "src/CMakeFiles/tesseract.dir/nn/layernorm.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/nn/layernorm.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/CMakeFiles/tesseract.dir/nn/linear.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/nn/linear.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/tesseract.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/tesseract.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/softmax.cpp" "src/CMakeFiles/tesseract.dir/nn/softmax.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/nn/softmax.cpp.o.d"
+  "/root/repo/src/nn/transformer.cpp" "src/CMakeFiles/tesseract.dir/nn/transformer.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/nn/transformer.cpp.o.d"
+  "/root/repo/src/parallel/dist.cpp" "src/CMakeFiles/tesseract.dir/parallel/dist.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/parallel/dist.cpp.o.d"
+  "/root/repo/src/parallel/megatron.cpp" "src/CMakeFiles/tesseract.dir/parallel/megatron.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/parallel/megatron.cpp.o.d"
+  "/root/repo/src/parallel/optimus.cpp" "src/CMakeFiles/tesseract.dir/parallel/optimus.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/parallel/optimus.cpp.o.d"
+  "/root/repo/src/parallel/pipeline.cpp" "src/CMakeFiles/tesseract.dir/parallel/pipeline.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/parallel/pipeline.cpp.o.d"
+  "/root/repo/src/parallel/tesseract_attention.cpp" "src/CMakeFiles/tesseract.dir/parallel/tesseract_attention.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/parallel/tesseract_attention.cpp.o.d"
+  "/root/repo/src/parallel/tesseract_feedforward.cpp" "src/CMakeFiles/tesseract.dir/parallel/tesseract_feedforward.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/parallel/tesseract_feedforward.cpp.o.d"
+  "/root/repo/src/parallel/tesseract_layernorm.cpp" "src/CMakeFiles/tesseract.dir/parallel/tesseract_layernorm.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/parallel/tesseract_layernorm.cpp.o.d"
+  "/root/repo/src/parallel/tesseract_linear.cpp" "src/CMakeFiles/tesseract.dir/parallel/tesseract_linear.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/parallel/tesseract_linear.cpp.o.d"
+  "/root/repo/src/parallel/tesseract_transformer.cpp" "src/CMakeFiles/tesseract.dir/parallel/tesseract_transformer.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/parallel/tesseract_transformer.cpp.o.d"
+  "/root/repo/src/parallel/zero.cpp" "src/CMakeFiles/tesseract.dir/parallel/zero.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/parallel/zero.cpp.o.d"
+  "/root/repo/src/pdgemm/block.cpp" "src/CMakeFiles/tesseract.dir/pdgemm/block.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/pdgemm/block.cpp.o.d"
+  "/root/repo/src/pdgemm/cannon.cpp" "src/CMakeFiles/tesseract.dir/pdgemm/cannon.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/pdgemm/cannon.cpp.o.d"
+  "/root/repo/src/pdgemm/serial.cpp" "src/CMakeFiles/tesseract.dir/pdgemm/serial.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/pdgemm/serial.cpp.o.d"
+  "/root/repo/src/pdgemm/solomonik25d.cpp" "src/CMakeFiles/tesseract.dir/pdgemm/solomonik25d.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/pdgemm/solomonik25d.cpp.o.d"
+  "/root/repo/src/pdgemm/summa.cpp" "src/CMakeFiles/tesseract.dir/pdgemm/summa.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/pdgemm/summa.cpp.o.d"
+  "/root/repo/src/pdgemm/tesseract_mm.cpp" "src/CMakeFiles/tesseract.dir/pdgemm/tesseract_mm.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/pdgemm/tesseract_mm.cpp.o.d"
+  "/root/repo/src/perf/analytic.cpp" "src/CMakeFiles/tesseract.dir/perf/analytic.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/perf/analytic.cpp.o.d"
+  "/root/repo/src/perf/cost_model.cpp" "src/CMakeFiles/tesseract.dir/perf/cost_model.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/perf/cost_model.cpp.o.d"
+  "/root/repo/src/perf/formulas.cpp" "src/CMakeFiles/tesseract.dir/perf/formulas.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/perf/formulas.cpp.o.d"
+  "/root/repo/src/perf/layer_costs.cpp" "src/CMakeFiles/tesseract.dir/perf/layer_costs.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/perf/layer_costs.cpp.o.d"
+  "/root/repo/src/perf/report.cpp" "src/CMakeFiles/tesseract.dir/perf/report.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/perf/report.cpp.o.d"
+  "/root/repo/src/perf/trace.cpp" "src/CMakeFiles/tesseract.dir/perf/trace.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/perf/trace.cpp.o.d"
+  "/root/repo/src/runtime/barrier.cpp" "src/CMakeFiles/tesseract.dir/runtime/barrier.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/runtime/barrier.cpp.o.d"
+  "/root/repo/src/runtime/cluster.cpp" "src/CMakeFiles/tesseract.dir/runtime/cluster.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/runtime/cluster.cpp.o.d"
+  "/root/repo/src/tensor/gemm.cpp" "src/CMakeFiles/tesseract.dir/tensor/gemm.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/tensor/gemm.cpp.o.d"
+  "/root/repo/src/tensor/init.cpp" "src/CMakeFiles/tesseract.dir/tensor/init.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/tensor/init.cpp.o.d"
+  "/root/repo/src/tensor/kernels.cpp" "src/CMakeFiles/tesseract.dir/tensor/kernels.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/tensor/kernels.cpp.o.d"
+  "/root/repo/src/tensor/rng.cpp" "src/CMakeFiles/tesseract.dir/tensor/rng.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/tensor/rng.cpp.o.d"
+  "/root/repo/src/tensor/tensor.cpp" "src/CMakeFiles/tesseract.dir/tensor/tensor.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/tensor/tensor.cpp.o.d"
+  "/root/repo/src/topology/cost.cpp" "src/CMakeFiles/tesseract.dir/topology/cost.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/topology/cost.cpp.o.d"
+  "/root/repo/src/topology/grid.cpp" "src/CMakeFiles/tesseract.dir/topology/grid.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/topology/grid.cpp.o.d"
+  "/root/repo/src/topology/machine_spec.cpp" "src/CMakeFiles/tesseract.dir/topology/machine_spec.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/topology/machine_spec.cpp.o.d"
+  "/root/repo/src/train/dataset.cpp" "src/CMakeFiles/tesseract.dir/train/dataset.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/train/dataset.cpp.o.d"
+  "/root/repo/src/train/lm.cpp" "src/CMakeFiles/tesseract.dir/train/lm.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/train/lm.cpp.o.d"
+  "/root/repo/src/train/metrics.cpp" "src/CMakeFiles/tesseract.dir/train/metrics.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/train/metrics.cpp.o.d"
+  "/root/repo/src/train/trainer.cpp" "src/CMakeFiles/tesseract.dir/train/trainer.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/train/trainer.cpp.o.d"
+  "/root/repo/src/train/vit.cpp" "src/CMakeFiles/tesseract.dir/train/vit.cpp.o" "gcc" "src/CMakeFiles/tesseract.dir/train/vit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_clock.dir/test_comm_clock.cpp.o"
+  "CMakeFiles/test_comm_clock.dir/test_comm_clock.cpp.o.d"
+  "test_comm_clock"
+  "test_comm_clock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

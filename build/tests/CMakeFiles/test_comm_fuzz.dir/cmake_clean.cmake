@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_comm_fuzz.dir/test_comm_fuzz.cpp.o"
+  "CMakeFiles/test_comm_fuzz.dir/test_comm_fuzz.cpp.o.d"
+  "test_comm_fuzz"
+  "test_comm_fuzz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_comm_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lm.dir/test_lm.cpp.o"
+  "CMakeFiles/test_lm.dir/test_lm.cpp.o.d"
+  "test_lm"
+  "test_lm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_layers.dir/test_parallel_layers.cpp.o"
+  "CMakeFiles/test_parallel_layers.dir/test_parallel_layers.cpp.o.d"
+  "test_parallel_layers"
+  "test_parallel_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parallel_linear.dir/test_parallel_linear.cpp.o"
+  "CMakeFiles/test_parallel_linear.dir/test_parallel_linear.cpp.o.d"
+  "test_parallel_linear"
+  "test_parallel_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parallel_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

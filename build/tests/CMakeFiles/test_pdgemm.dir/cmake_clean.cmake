@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdgemm.dir/test_pdgemm.cpp.o"
+  "CMakeFiles/test_pdgemm.dir/test_pdgemm.cpp.o.d"
+  "test_pdgemm"
+  "test_pdgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rng_init.dir/test_rng_init.cpp.o"
+  "CMakeFiles/test_rng_init.dir/test_rng_init.cpp.o.d"
+  "test_rng_init"
+  "test_rng_init.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rng_init.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zero.dir/test_zero.cpp.o"
+  "CMakeFiles/test_zero.dir/test_zero.cpp.o.d"
+  "test_zero"
+  "test_zero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
