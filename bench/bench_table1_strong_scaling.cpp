@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "perf/cost_model.hpp"
+#include "perf/export.hpp"
 #include "perf/report.hpp"
 
 using namespace tsr;
@@ -84,5 +85,25 @@ int main() {
               fwd(6) / fwd(7));
   std::printf("  Tesseract[4,4,2] vs Tesseract[4,4,1]: %.4f  (paper 1.1608)\n",
               fwd(8) / fwd(9));
+
+  // Machine-readable twin of the table above.
+  perf::BenchReport report("table1_strong_scaling");
+  for (const perf::TableRow& r : rows) {
+    obs::JsonValue& c = report.add_case(r.parallelization + " " + r.shape);
+    c["gpus"] = static_cast<std::int64_t>(r.gpus);
+    c["batch"] = r.batch;
+    c["hidden"] = r.hidden;
+    c["heads"] = r.heads;
+    c["fwd_ms"] = r.fwd;
+    c["bwd_ms"] = r.bwd;
+    c["throughput"] = r.throughput;
+    c["inference_ms"] = r.inference;
+  }
+  const char* out = "BENCH_table1_strong_scaling.json";
+  if (report.write(out)) {
+    std::printf("\nwrote %s\n", out);
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", out);
+  }
   return 0;
 }

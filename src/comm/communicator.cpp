@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cstring>
 #include <fstream>
+#include <iomanip>
 #include <stdexcept>
 
+#include "obs/json.hpp"
+#include "obs/memory.hpp"
 #include "runtime/cluster.hpp"
 
 namespace tsr::comm {
@@ -62,6 +65,18 @@ void apply_reduce(ReduceOp op, float* dst, const float* src, std::int64_t n) {
 // World
 // ---------------------------------------------------------------------------
 
+const char* span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::Collective:
+      return "collective";
+    case SpanKind::Kernel:
+      return "kernel";
+    case SpanKind::Marker:
+      return "marker";
+  }
+  return "?";
+}
+
 World::World(int nranks, topo::MachineSpec spec)
     : nranks_(nranks), spec_(spec) {
   check(nranks >= 1, "World: nranks must be >= 1");
@@ -72,28 +87,135 @@ World::World(int nranks, topo::MachineSpec spec)
   clocks_.resize(static_cast<std::size_t>(nranks));
   stats_.resize(static_cast<std::size_t>(nranks));
   traces_.resize(static_cast<std::size_t>(nranks));
+  flow_sends_.resize(static_cast<std::size_t>(nranks));
+  flow_recvs_.resize(static_cast<std::size_t>(nranks));
 }
 
-void World::record_span(int rank, const char* name, double t0, double t1) {
-  traces_[static_cast<std::size_t>(rank)].push_back(TraceEvent{name, t0, t1});
+void World::record_span(int rank, const char* name, double t0, double t1,
+                        SpanKind kind, std::int64_t bytes, int group) {
+  std::vector<TraceEvent>& tl = traces_[static_cast<std::size_t>(rank)];
+  TraceEvent e;
+  e.name = name;
+  e.t0 = t0;
+  e.t1 = t1;
+  e.bytes = bytes;
+  e.kind = kind;
+  e.seq = tl.size();
+  e.group = group;
+  e.live_bytes = obs::live_tensor_bytes();
+  tl.push_back(e);
 }
+
+void World::reset_traces() {
+  for (auto& tl : traces_) tl.clear();
+  for (auto& fs : flow_sends_) fs.clear();
+  for (auto& fr : flow_recvs_) fr.clear();
+  flow_counter_.store(0);
+}
+
+namespace {
+
+// One Chrome trace event as a compact JSON object line. All fields that are
+// strings go through the JSON escaper; timestamps are microseconds of
+// SIMULATED time printed with enough digits to round-trip.
+class ChromeTraceWriter {
+ public:
+  explicit ChromeTraceWriter(std::ostream& out) : out_(out) {
+    out_ << "{\"traceEvents\":[";
+    out_ << std::setprecision(17);
+  }
+
+  void begin_event() { out_ << (first_ ? "\n" : ",\n"); first_ = false; }
+
+  void meta(const char* what, int pid, int tid, bool with_tid,
+            const std::string& name) {
+    begin_event();
+    out_ << "{\"name\":\"" << what << "\",\"ph\":\"M\",\"pid\":" << pid;
+    if (with_tid) out_ << ",\"tid\":" << tid;
+    std::string escaped;
+    obs::append_json_string(escaped, name);
+    out_ << ",\"args\":{\"name\":" << escaped << "}}";
+  }
+
+  void finish() { out_ << "\n]}"; }
+
+  std::ostream& out() { return out_; }
+
+ private:
+  std::ostream& out_;
+  bool first_ = true;
+};
+
+}  // namespace
 
 bool World::write_chrome_trace(const std::string& path) const {
   std::ofstream out(path);
   if (!out) return false;
-  out << "{\"traceEvents\":[";
-  bool first = true;
+  ChromeTraceWriter w(out);
+
+  // Process/thread metadata: one trace process per simulated node, one
+  // thread per rank, so Perfetto's grouping mirrors the machine layout.
+  const int nodes = spec_.node_of(nranks_ - 1) + 1;
+  for (int n = 0; n < nodes; ++n) {
+    w.meta("process_name", n, 0, false, "node " + std::to_string(n));
+  }
   for (int r = 0; r < nranks_; ++r) {
+    w.meta("thread_name", spec_.node_of(r), r, true,
+           "rank " + std::to_string(r));
+  }
+
+  for (int r = 0; r < nranks_; ++r) {
+    const int pid = spec_.node_of(r);
+
+    // Complete ("X") span events with telemetry args.
     for (const TraceEvent& e : traces_[static_cast<std::size_t>(r)]) {
-      if (!first) out << ',';
-      first = false;
-      // Durations in microseconds of SIMULATED time; one tid per rank.
-      out << "{\"name\":\"" << e.name << "\",\"ph\":\"X\",\"pid\":0"
-          << ",\"tid\":" << r << ",\"ts\":" << e.t0 * 1e6 << ",\"dur\":"
-          << (e.t1 - e.t0) * 1e6 << "}";
+      w.begin_event();
+      std::string name;
+      obs::append_json_string(name, e.name);
+      out << "{\"name\":" << name << ",\"cat\":\"" << span_kind_name(e.kind)
+          << "\",\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << r
+          << ",\"ts\":" << e.t0 * 1e6 << ",\"dur\":" << (e.t1 - e.t0) * 1e6
+          << ",\"args\":{\"bytes\":" << e.bytes << ",\"seq\":" << e.seq
+          << ",\"group\":" << e.group << ",\"live_tensor_bytes\":"
+          << e.live_bytes << "}}";
+    }
+
+    // Flow starts at each wire send, plus the cumulative byte counter track.
+    std::int64_t intra = 0;
+    std::int64_t inter = 0;
+    for (const FlowSend& f : flow_sends_[static_cast<std::size_t>(r)]) {
+      w.begin_event();
+      out << "{\"name\":\"wire\",\"cat\":\"wire\",\"ph\":\"s\",\"id\":" << f.id
+          << ",\"pid\":" << pid << ",\"tid\":" << r << ",\"ts\":" << f.t * 1e6
+          << ",\"args\":{\"bytes\":" << f.bytes << ",\"dst\":" << f.dst
+          << "}}";
+      (f.inter_node ? inter : intra) += f.bytes;
+      w.begin_event();
+      out << "{\"name\":\"wire bytes (rank " << r
+          << ")\",\"ph\":\"C\",\"pid\":" << pid << ",\"tid\":" << r
+          << ",\"ts\":" << f.t * 1e6 << ",\"args\":{\"intra_node\":" << intra
+          << ",\"inter_node\":" << inter << "}}";
+    }
+
+    // Flow ends at the matching receives.
+    for (const FlowRecv& f : flow_recvs_[static_cast<std::size_t>(r)]) {
+      w.begin_event();
+      out << "{\"name\":\"wire\",\"cat\":\"wire\",\"ph\":\"f\",\"bp\":\"e\","
+             "\"id\":" << f.id << ",\"pid\":" << pid << ",\"tid\":" << r
+          << ",\"ts\":" << f.t * 1e6 << ",\"args\":{\"src\":" << f.src
+          << ",\"blocked\":" << (f.blocked ? "true" : "false") << "}}";
+    }
+
+    // Live-tensor gauge sampled at span completion times.
+    for (const TraceEvent& e : traces_[static_cast<std::size_t>(r)]) {
+      w.begin_event();
+      out << "{\"name\":\"live tensor bytes (rank " << r
+          << ")\",\"ph\":\"C\",\"pid\":" << pid << ",\"tid\":" << r
+          << ",\"ts\":" << e.t1 * 1e6 << ",\"args\":{\"bytes\":"
+          << e.live_bytes << "}}";
     }
   }
-  out << "]}";
+  w.finish();
   return static_cast<bool>(out);
 }
 
@@ -201,12 +323,24 @@ void Communicator::send_msg(int dst_grank, std::uint64_t tag, const float* data,
     m.arrival_time = clock().now();
   }
   stats().record_msg(wire_bytes, link == topo::LinkType::InterNode);
+  if (world_->tracing()) {
+    m.flow_id = world_->next_flow_id();
+    world_->record_flow_send(
+        src_w, FlowSend{m.flow_id, clock().now(), dst_w, wire_bytes,
+                        link == topo::LinkType::InterNode});
+  }
   world_->mailbox(dst_w).push(std::move(m));
 }
 
 Message Communicator::recv_msg(int src_grank, std::uint64_t tag) {
   Message m = world_->mailbox(world_rank()).pop(world_rank_of(src_grank), tag);
+  const double before = clock().now();
   clock().advance_to(m.arrival_time);
+  if (m.flow_id != 0 && world_->tracing()) {
+    world_->record_flow_recv(
+        world_rank(), FlowRecv{m.flow_id, clock().now(), m.src, m.arrival_time,
+                               m.arrival_time > before});
+  }
   return m;
 }
 
@@ -279,6 +413,12 @@ std::vector<float> Communicator::recv(int src, std::uint64_t tag) {
 
 void Communicator::sendrecv(int dst, std::span<const float> send_data, int src,
                             std::span<float> recv_data, std::uint64_t tag) {
+  const std::int64_t bytes =
+      static_cast<std::int64_t>(send_data.size() * sizeof(float));
+  // Span + logical record mirror phantom_sendrecv exactly, keeping the
+  // real/phantom statistics parity the replay harness depends on.
+  TraceSpan span(this, "sendrecv", bytes);
+  stats().record_collective("sendrecv", bytes);
   send(dst, tag, send_data);
   std::vector<float> r = recv(src, tag);
   check(r.size() == recv_data.size(), "sendrecv: size mismatch");
@@ -303,7 +443,7 @@ void Communicator::barrier() {
 
 void Communicator::broadcast_impl(float* data, std::int64_t count,
                                   std::int64_t total_bytes, int root) {
-  TraceSpan span(this, "broadcast");
+  TraceSpan span(this, "broadcast", total_bytes);
   const int g = size();
   check(root >= 0 && root < g, "broadcast: root out of range");
   const std::uint64_t tag = next_tag();
@@ -390,7 +530,7 @@ void Communicator::phantom_broadcast(int root, std::int64_t bytes) {
 
 void Communicator::reduce_impl(float* data, std::int64_t count,
                                std::int64_t total_bytes, int root, ReduceOp op) {
-  TraceSpan span(this, "reduce");
+  TraceSpan span(this, "reduce", total_bytes);
   const int g = size();
   check(root >= 0 && root < g, "reduce: root out of range");
   const std::uint64_t tag = next_tag();
@@ -472,7 +612,7 @@ void Communicator::phantom_reduce(int root, std::int64_t bytes) {
 
 void Communicator::all_reduce_impl(float* data, std::int64_t count,
                                    std::int64_t total_bytes, ReduceOp op) {
-  TraceSpan span(this, "all_reduce");
+  TraceSpan span(this, "all_reduce", total_bytes);
   const int g = size();
   stats().record_collective("all_reduce", total_bytes);
   if (g == 1) return;
@@ -531,7 +671,7 @@ void Communicator::phantom_all_reduce(std::int64_t bytes) {
 void Communicator::all_gather_impl(const float* local, float* out,
                                    std::int64_t chunk_count,
                                    std::int64_t chunk_bytes) {
-  TraceSpan span(this, "all_gather");
+  TraceSpan span(this, "all_gather", chunk_bytes * size());
   const int g = size();
   stats().record_collective("all_gather", chunk_bytes * g);
   const bool real = out != nullptr;
@@ -571,7 +711,7 @@ void Communicator::phantom_all_gather(std::int64_t bytes_per_rank) {
 void Communicator::reduce_scatter_impl(float* data, float* out,
                                        std::int64_t chunk_count,
                                        std::int64_t chunk_bytes, ReduceOp op) {
-  TraceSpan span(this, "reduce_scatter");
+  TraceSpan span(this, "reduce_scatter", chunk_bytes * size());
   const int g = size();
   stats().record_collective("reduce_scatter", chunk_bytes * g);
   const bool real = data != nullptr;
@@ -617,7 +757,8 @@ void Communicator::phantom_reduce_scatter(std::int64_t total_bytes) {
 
 void Communicator::gather(std::span<const float> local, std::span<float> out,
                           int root) {
-  TraceSpan span(this, "gather");
+  TraceSpan span(this, "gather",
+                 static_cast<std::int64_t>(local.size() * sizeof(float)) * size());
   const int g = size();
   check(root >= 0 && root < g, "gather: root out of range");
   const std::uint64_t tag = next_tag();
@@ -645,7 +786,8 @@ void Communicator::gather(std::span<const float> local, std::span<float> out,
 
 void Communicator::scatter(std::span<const float> in, std::span<float> local,
                            int root) {
-  TraceSpan span(this, "scatter");
+  TraceSpan span(this, "scatter",
+                 static_cast<std::int64_t>(local.size() * sizeof(float)) * size());
   const int g = size();
   check(root >= 0 && root < g, "scatter: root out of range");
   const std::uint64_t tag = next_tag();
@@ -673,7 +815,8 @@ void Communicator::scatter(std::span<const float> in, std::span<float> local,
 }
 
 void Communicator::all_to_all(std::span<const float> in, std::span<float> out) {
-  TraceSpan span(this, "all_to_all");
+  TraceSpan span(this, "all_to_all",
+                 static_cast<std::int64_t>(in.size() * sizeof(float)));
   const int g = size();
   check(in.size() == out.size() && in.size() % static_cast<std::size_t>(g) == 0,
         "all_to_all: sizes must match and divide the group size");
@@ -702,7 +845,7 @@ void Communicator::all_to_all(std::span<const float> in, std::span<float> out) {
 }
 
 void Communicator::phantom_sendrecv(int dst, int src, std::int64_t bytes) {
-  TraceSpan span(this, "sendrecv");
+  TraceSpan span(this, "sendrecv", bytes);
   const std::uint64_t tag = next_tag();
   stats().record_collective("sendrecv", bytes);
   send_msg(dst, tag, nullptr, 0, bytes);

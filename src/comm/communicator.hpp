@@ -22,8 +22,11 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+
 #include "comm/mailbox.hpp"
 #include "comm/stats.hpp"
+#include "obs/metrics.hpp"
 #include "runtime/sim_clock.hpp"
 #include "tensor/tensor.hpp"
 #include "topology/machine_spec.hpp"
@@ -34,11 +37,40 @@ enum class ReduceOp { Sum, Max };
 
 class Communicator;
 
+/// What a trace span measured: a collective's wall span on its rank, a
+/// charged compute kernel, or a user-defined marker.
+enum class SpanKind { Collective, Kernel, Marker };
+
+const char* span_kind_name(SpanKind kind);
+
 /// One span on a rank's simulated timeline (a collective, a GEMM, ...).
 struct TraceEvent {
-  const char* name;  // static strings only (collective/kernel names)
-  double t0 = 0.0;   // simulated seconds
+  const char* name;           // static strings only (collective/kernel names)
+  double t0 = 0.0;            // simulated seconds
   double t1 = 0.0;
+  std::int64_t bytes = 0;     // logical payload bytes of the op (0 if none)
+  SpanKind kind = SpanKind::Collective;
+  std::uint64_t seq = 0;      // per-rank emission index (dense, from 0)
+  int group = 0;              // communicator size for collectives, else 0
+  std::int64_t live_bytes = 0;  // process-wide live tensor bytes at record
+};
+
+/// Wire edge endpoints: one FlowSend on the sender's timeline pairs with the
+/// FlowRecv of equal id on the receiver's. Recorded only while tracing.
+struct FlowSend {
+  std::uint64_t id = 0;
+  double t = 0.0;  ///< send completion (clock after NIC serialization)
+  int dst = 0;     ///< destination world rank
+  std::int64_t bytes = 0;
+  bool inter_node = false;
+};
+
+struct FlowRecv {
+  std::uint64_t id = 0;
+  double t = 0.0;        ///< receiver's clock after the matching pop
+  int src = 0;           ///< source world rank
+  double arrival = 0.0;  ///< modeled arrival time of the message
+  bool blocked = false;  ///< true when the arrival advanced the receiver
 };
 
 /// Shared state of one virtual cluster: mailboxes, clocks, stats, machine.
@@ -55,6 +87,9 @@ class World {
 
   Mailbox& mailbox(int rank) { return *mailboxes_[static_cast<std::size_t>(rank)]; }
   rt::SimClock& clock(int rank) { return clocks_[static_cast<std::size_t>(rank)]; }
+  const rt::SimClock& clock(int rank) const {
+    return clocks_[static_cast<std::size_t>(rank)];
+  }
   CommStats& stats(int rank) { return stats_[static_cast<std::size_t>(rank)]; }
 
   /// World communicator (all ranks) for the given rank.
@@ -79,12 +114,49 @@ class World {
   void enable_tracing() { tracing_ = true; }
   bool tracing() const { return tracing_; }
   /// Appends a span to `rank`'s timeline (called by the rank's own thread).
-  void record_span(int rank, const char* name, double t0, double t1);
+  /// Stamps the per-rank sequence id and samples the live-tensor gauge.
+  void record_span(int rank, const char* name, double t0, double t1,
+                   SpanKind kind = SpanKind::Collective, std::int64_t bytes = 0,
+                   int group = 0);
   const std::vector<TraceEvent>& trace(int rank) const {
     return traces_[static_cast<std::size_t>(rank)];
   }
+  /// Clears all recorded spans and wire flow events (not the enable flags).
+  /// perf::measure calls this so back-to-back measurements on one World do
+  /// not splice stale spans from before the clock reset into the timeline.
+  void reset_traces();
+
+  // Wire-edge records for the trace exporter and critical-path analyzer.
+  std::uint64_t next_flow_id() { return 1 + flow_counter_.fetch_add(1); }
+  void record_flow_send(int rank, FlowSend f) {
+    flow_sends_[static_cast<std::size_t>(rank)].push_back(f);
+  }
+  void record_flow_recv(int rank, FlowRecv f) {
+    flow_recvs_[static_cast<std::size_t>(rank)].push_back(f);
+  }
+  const std::vector<FlowSend>& flow_sends(int rank) const {
+    return flow_sends_[static_cast<std::size_t>(rank)];
+  }
+  const std::vector<FlowRecv>& flow_recvs(int rank) const {
+    return flow_recvs_[static_cast<std::size_t>(rank)];
+  }
+
   /// Writes the Chrome trace-event JSON; returns false on I/O failure.
+  /// One trace process per simulated node, one thread per rank; spans carry
+  /// bytes/kind/seq args, wire sends and receives are linked by flow events,
+  /// and per-rank counter tracks report cumulative intra-/inter-node wire
+  /// bytes plus the live-tensor-bytes gauge.
   bool write_chrome_trace(const std::string& path) const;
+
+  // ---- Metrics ------------------------------------------------------------
+  // Shared metrics registry for the cluster. Recording sites check
+  // metrics_enabled() first, so a disabled World pays one branch and the
+  // simulated results are bit-identical with telemetry on or off.
+
+  void enable_metrics() { metrics_enabled_ = true; }
+  bool metrics_enabled() const { return metrics_enabled_; }
+  obs::Registry& metrics() { return metrics_; }
+  const obs::Registry& metrics() const { return metrics_; }
 
   /// Runs fn on every rank via the SPMD cluster; if a rank throws, the world
   /// is poisoned so peers blocked in collectives unwind, and the original
@@ -98,7 +170,12 @@ class World {
   std::vector<rt::SimClock> clocks_;
   std::vector<CommStats> stats_;
   bool tracing_ = false;
+  bool metrics_enabled_ = false;
   std::vector<std::vector<TraceEvent>> traces_;  // per rank, owner-written
+  std::vector<std::vector<FlowSend>> flow_sends_;  // per rank, owner-written
+  std::vector<std::vector<FlowRecv>> flow_recvs_;  // per rank, owner-written
+  std::atomic<std::uint64_t> flow_counter_{0};
+  obs::Registry metrics_;
 };
 
 /// A rank's handle on an ordered process group.
@@ -198,16 +275,25 @@ class Communicator {
   std::uint64_t user_tag(std::uint64_t tag) const;
 
   // Records [construction, destruction) of the enclosing collective as a
-  // span on this rank's simulated timeline when tracing is enabled.
+  // span on this rank's simulated timeline when tracing is enabled, and a
+  // per-op duration/byte sample in the world metrics registry when enabled.
   struct TraceSpan {
     Communicator* c;
     const char* name;
     double t0;
-    TraceSpan(Communicator* comm, const char* n)
-        : c(comm), name(n), t0(comm->clock().now()) {}
+    std::int64_t bytes;
+    TraceSpan(Communicator* comm, const char* n, std::int64_t payload_bytes = 0)
+        : c(comm), name(n), t0(comm->clock().now()), bytes(payload_bytes) {}
     ~TraceSpan() {
       if (c->world_->tracing()) {
-        c->world_->record_span(c->world_rank(), name, t0, c->clock().now());
+        c->world_->record_span(c->world_rank(), name, t0, c->clock().now(),
+                               SpanKind::Collective, bytes, c->size());
+      }
+      if (c->world_->metrics_enabled()) {
+        obs::Registry& reg = c->world_->metrics();
+        const std::string key = std::string("comm.") + name;
+        reg.histogram_observe(key + ".sim_seconds", c->clock().now() - t0);
+        if (bytes > 0) reg.counter_add(key + ".bytes", bytes);
       }
     }
   };

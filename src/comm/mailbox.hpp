@@ -30,6 +30,10 @@ struct Message {
   std::int64_t wire_bytes = 0;
   /// Simulated arrival time at the receiver.
   double arrival_time = 0.0;
+  /// Non-zero when tracing: pairs this send with its receive so the trace
+  /// exporter can draw the wire edge and the critical-path analyzer can walk
+  /// across ranks. 0 means "not traced".
+  std::uint64_t flow_id = 0;
 };
 
 class Mailbox {

@@ -1,0 +1,34 @@
+#include "obs/memory.hpp"
+
+#include <atomic>
+
+namespace tsr::obs {
+namespace {
+
+std::atomic<std::int64_t> g_live{0};
+std::atomic<std::int64_t> g_peak{0};
+
+}  // namespace
+
+void track_tensor_alloc(std::int64_t bytes) {
+  const std::int64_t live =
+      g_live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::int64_t peak = g_peak.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !g_peak.compare_exchange_weak(peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+void track_tensor_free(std::int64_t bytes) {
+  g_live.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+std::int64_t live_tensor_bytes() {
+  return g_live.load(std::memory_order_relaxed);
+}
+
+std::int64_t peak_tensor_bytes() {
+  return g_peak.load(std::memory_order_relaxed);
+}
+
+}  // namespace tsr::obs

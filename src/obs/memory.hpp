@@ -1,0 +1,24 @@
+// Process-wide live-tensor accounting.
+//
+// Tensor storage allocations register here so the tracing layer can emit a
+// "live tensor bytes" counter track and the trainer can report peak memory.
+// The counters are relaxed atomics: cross-rank ordering does not matter for
+// a gauge that is only ever sampled, and the cost on the allocation path is
+// two uncontended atomic adds.
+#pragma once
+
+#include <cstdint>
+
+namespace tsr::obs {
+
+/// Called by tensor storage on allocation / deallocation of `bytes`.
+void track_tensor_alloc(std::int64_t bytes);
+void track_tensor_free(std::int64_t bytes);
+
+/// Bytes of tensor storage currently alive in the process.
+std::int64_t live_tensor_bytes();
+/// High-water mark of live_tensor_bytes() since process start (monotone;
+/// approximate under concurrent allocation, exact for single-threaded runs).
+std::int64_t peak_tensor_bytes();
+
+}  // namespace tsr::obs

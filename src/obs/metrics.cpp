@@ -1,0 +1,88 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace tsr::obs {
+
+void HistogramData::observe(double value) {
+  if (count == 0) {
+    min = value;
+    max = value;
+  } else {
+    min = std::min(min, value);
+    max = std::max(max, value);
+  }
+  count += 1;
+  sum += value;
+  buckets[static_cast<std::size_t>(bucket_of(value))] += 1;
+}
+
+double HistogramData::bucket_floor(int i) {
+  return 1e-9 * std::ldexp(1.0, i);
+}
+
+int HistogramData::bucket_of(double seconds) {
+  if (!(seconds > 1e-9)) return 0;  // also catches NaN and non-positive
+  const double ratio = seconds / 1e-9;
+  // Values past the last bucket boundary (including a ratio that overflowed
+  // to infinity) saturate instead of feeding log2/floor an out-of-range int.
+  if (!(ratio < std::ldexp(1.0, kBuckets))) return kBuckets - 1;
+  const int i = static_cast<int>(std::floor(std::log2(ratio)));
+  return std::clamp(i, 0, kBuckets - 1);
+}
+
+std::string Snapshot::to_string() const {
+  std::ostringstream os;
+  for (const auto& [name, v] : counters) {
+    os << "counter   " << name << " = " << v << '\n';
+  }
+  for (const auto& [name, v] : gauges) {
+    os << "gauge     " << name << " = " << v << '\n';
+  }
+  for (const auto& [name, h] : histograms) {
+    os << "histogram " << name << ": n=" << h.count << " mean=" << h.mean()
+       << " min=" << h.min << " max=" << h.max << '\n';
+  }
+  return os.str();
+}
+
+void Registry::counter_add(const std::string& name, std::int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_[name] += delta;
+}
+
+void Registry::gauge_set(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  gauges_[name] = value;
+}
+
+void Registry::gauge_max(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = gauges_.emplace(name, value);
+  if (!inserted) it->second = std::max(it->second, value);
+}
+
+void Registry::histogram_observe(const std::string& name, double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  histograms_[name].observe(value);
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot s;
+  s.counters = counters_;
+  s.gauges = gauges_;
+  s.histograms = histograms_;
+  return s;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+}  // namespace tsr::obs

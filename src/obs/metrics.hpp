@@ -1,0 +1,113 @@
+// Metrics registry: counters, gauges and log-bucketed timing histograms
+// over the SIMULATED clock.
+//
+// The registry is the numeric counterpart of the span tracing in comm/: where
+// a trace answers "what happened when on rank r", the registry answers "how
+// much, how often, how long" across a whole run — per-layer forward/backward
+// time distributions, GEMM FLOP totals, trainer loss — without storing one
+// record per event. A World owns one Registry; recording is gated by
+// World::enable_metrics() so the disabled path costs a single branch.
+//
+// All durations are simulated seconds (SimClock), never host wall-clock:
+// histograms over the virtual timeline are reproducible run to run.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "runtime/sim_clock.hpp"
+
+namespace tsr::obs {
+
+/// Histogram with power-of-two buckets starting at 1 ns: bucket i counts
+/// samples in [2^i ns, 2^(i+1) ns); bucket 0 also absorbs anything smaller.
+/// 64 buckets span far past any simulated makespan.
+struct HistogramData {
+  static constexpr int kBuckets = 64;
+
+  std::int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::array<std::int64_t, kBuckets> buckets{};
+
+  void observe(double value);
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  /// Lower bound of bucket i in seconds.
+  static double bucket_floor(int i);
+  /// Bucket index a value of `seconds` falls into.
+  static int bucket_of(double seconds);
+};
+
+/// Immutable copy of a registry's state, safe to read outside the lock.
+struct Snapshot {
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramData> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+  /// Multi-line human-readable dump.
+  std::string to_string() const;
+};
+
+/// Thread-safe named-metric store. Ranks of a virtual cluster record
+/// concurrently; names are shared, so a histogram aggregates all ranks'
+/// samples of the same operation.
+class Registry {
+ public:
+  void counter_add(const std::string& name, std::int64_t delta = 1);
+  void gauge_set(const std::string& name, double value);
+  /// Gauge that keeps the maximum of all recorded values.
+  void gauge_max(const std::string& name, double value);
+  void histogram_observe(const std::string& name, double value);
+
+  Snapshot snapshot() const;
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, HistogramData> histograms_;
+};
+
+/// RAII timer recording one histogram sample of simulated elapsed time.
+/// Null registry or clock makes it a no-op, so call sites need no branching;
+/// timers nest freely (each records its own inclusive duration).
+class ScopedTimer {
+ public:
+  ScopedTimer(Registry* registry, const rt::SimClock* clock, std::string name)
+      : registry_(registry),
+        clock_(clock),
+        name_(std::move(name)),
+        t0_(clock != nullptr ? clock->now() : 0.0) {}
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ScopedTimer(ScopedTimer&& other) noexcept
+      : registry_(other.registry_),
+        clock_(other.clock_),
+        name_(std::move(other.name_)),
+        t0_(other.t0_) {
+    other.registry_ = nullptr;
+  }
+
+  ~ScopedTimer() {
+    if (registry_ != nullptr && clock_ != nullptr) {
+      registry_->histogram_observe(name_, clock_->now() - t0_);
+    }
+  }
+
+ private:
+  Registry* registry_;
+  const rt::SimClock* clock_;
+  std::string name_;
+  double t0_;
+};
+
+}  // namespace tsr::obs

@@ -35,6 +35,15 @@ class TesseractContext {
     pdg::charge_gemm(tc_.grid, m, n, k);
   }
 
+  /// Scoped per-op timer over this rank's simulated clock, recorded into the
+  /// world metrics registry; a no-op unless World::enable_metrics() was
+  /// called. Layers wrap forward/backward bodies in one of these.
+  obs::ScopedTimer timer(std::string name) {
+    comm::World& w = tc_.grid.world();
+    return obs::ScopedTimer(w.metrics_enabled() ? &w.metrics() : nullptr,
+                            &tc_.grid.clock(), std::move(name));
+  }
+
  private:
   pdg::TesseractComms tc_;
 };

@@ -37,6 +37,7 @@ TesseractAttention::TesseractAttention(TesseractContext& ctx,
 }
 
 Tensor TesseractAttention::forward(const Tensor& x_local) {
+  obs::ScopedTimer timer_ = ctx_->timer("layer.attention.forward.sim_seconds");
   check(x_local.ndim() == 3, "TesseractAttention::forward: expected [b', s, h/q]");
   Cache cache;
   cache.batch = x_local.dim(0);
@@ -77,6 +78,7 @@ Tensor TesseractAttention::forward(const Tensor& x_local) {
 }
 
 Tensor TesseractAttention::backward(const Tensor& dy_local) {
+  obs::ScopedTimer timer_ = ctx_->timer("layer.attention.backward.sim_seconds");
   check(!cache_stack_.empty(),
         "TesseractAttention::backward: forward() not called");
   Cache cache = std::move(cache_stack_.back());

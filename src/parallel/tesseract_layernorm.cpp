@@ -18,6 +18,7 @@ TesseractLayerNorm::TesseractLayerNorm(TesseractContext& ctx,
 }
 
 Tensor TesseractLayerNorm::forward(const Tensor& x_local) {
+  obs::ScopedTimer timer_ = ctx_->timer("layer.layernorm.forward.sim_seconds");
   const std::int64_t lf = gamma.value.dim(0);
   check(x_local.dim(-1) == lf, "TesseractLayerNorm::forward: shard mismatch");
   const std::int64_t rows = x_local.numel() / lf;
@@ -60,6 +61,7 @@ Tensor TesseractLayerNorm::forward(const Tensor& x_local) {
 }
 
 Tensor TesseractLayerNorm::backward(const Tensor& dy_local) {
+  obs::ScopedTimer timer_ = ctx_->timer("layer.layernorm.backward.sim_seconds");
   check(!cache_stack_.empty(),
         "TesseractLayerNorm::backward: forward() missing");
   Cache cache = std::move(cache_stack_.back());

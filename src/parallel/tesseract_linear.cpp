@@ -46,6 +46,7 @@ void TesseractLinear::init_from_full(const Tensor& full_weight,
 }
 
 Tensor TesseractLinear::forward(const Tensor& x_local) {
+  obs::ScopedTimer t = ctx_->timer("layer.linear.forward.sim_seconds");
   check(x_local.dim(-1) == in_ / ctx_->q(),
         "TesseractLinear::forward: local feature shard mismatch");
   x_stack_.push_back(x_local.as_matrix());
@@ -63,6 +64,7 @@ Tensor TesseractLinear::forward(const Tensor& x_local) {
 }
 
 Tensor TesseractLinear::backward(const Tensor& dy_local) {
+  obs::ScopedTimer t = ctx_->timer("layer.linear.backward.sim_seconds");
   check(!x_stack_.empty(), "TesseractLinear::backward: forward() not called");
   check(dy_local.dim(-1) == out_ / ctx_->q(),
         "TesseractLinear::backward: local feature shard mismatch");

@@ -14,6 +14,7 @@ TesseractTransformerLayer::TesseractTransformerLayer(
       ctx_(&ctx) {}
 
 Tensor TesseractTransformerLayer::forward(const Tensor& x_local) {
+  obs::ScopedTimer timer_ = ctx_->timer("layer.transformer_layer.forward.sim_seconds");
   Tensor y = add(x_local, attn.forward(ln1.forward(x_local)));
   ctx_->charge_memory(y.numel() * static_cast<std::int64_t>(sizeof(float)));
   Tensor z = add(y, ffn.forward(ln2.forward(y)));
@@ -22,6 +23,7 @@ Tensor TesseractTransformerLayer::forward(const Tensor& x_local) {
 }
 
 Tensor TesseractTransformerLayer::backward(const Tensor& dy_local) {
+  obs::ScopedTimer timer_ = ctx_->timer("layer.transformer_layer.backward.sim_seconds");
   Tensor dy2 = add(dy_local, ln2.backward(ffn.backward(dy_local)));
   ctx_->charge_memory(dy2.numel() * static_cast<std::int64_t>(sizeof(float)));
   Tensor dx = add(dy2, ln1.backward(attn.backward(dy2)));

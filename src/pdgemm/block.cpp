@@ -50,7 +50,17 @@ void charge_gemm(comm::Communicator& comm, std::int64_t m, std::int64_t n,
   const double t0 = comm.clock().now();
   comm.clock().advance(comm.world().spec().gemm_time(m, n, k));
   if (comm.world().tracing()) {
-    comm.world().record_span(comm.world_rank(), "gemm", t0, comm.clock().now());
+    // bytes = the operand/result footprint the kernel touches once.
+    const std::int64_t bytes =
+        (m * k + k * n + m * n) * static_cast<std::int64_t>(sizeof(float));
+    comm.world().record_span(comm.world_rank(), "gemm", t0, comm.clock().now(),
+                             comm::SpanKind::Kernel, bytes);
+  }
+  if (comm.world().metrics_enabled()) {
+    obs::Registry& reg = comm.world().metrics();
+    reg.histogram_observe("sim.gemm.sim_seconds", comm.clock().now() - t0);
+    reg.counter_add("sim.gemm.flops", 2 * m * n * k);
+    reg.counter_add("sim.gemm.calls");
   }
 }
 
@@ -59,7 +69,13 @@ void charge_memory_bound(comm::Communicator& comm, std::int64_t bytes) {
   comm.clock().advance(comm.world().spec().memory_bound_time(bytes));
   if (comm.world().tracing()) {
     comm.world().record_span(comm.world_rank(), "kernel", t0,
-                             comm.clock().now());
+                             comm.clock().now(), comm::SpanKind::Kernel, bytes);
+  }
+  if (comm.world().metrics_enabled()) {
+    obs::Registry& reg = comm.world().metrics();
+    reg.histogram_observe("sim.kernel.sim_seconds", comm.clock().now() - t0);
+    reg.counter_add("sim.kernel.bytes", bytes);
+    reg.counter_add("sim.kernel.calls");
   }
 }
 

@@ -1,0 +1,245 @@
+#include "perf/critical_path.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tsr::perf {
+
+namespace {
+
+// Attribution key for a span: collectives carry their group size so that
+// e.g. the depth-d all-reduce and the q*q-layer all-reduce of a Tesseract
+// step aggregate separately.
+std::string span_label(const comm::TraceEvent& e) {
+  if (e.kind == comm::SpanKind::Collective && e.group > 0) {
+    return std::string(e.name) + "[g=" + std::to_string(e.group) + "]";
+  }
+  return e.name;
+}
+
+// Emits the chain links covering [a, b] on `rank`'s timeline, latest first
+// (the caller walks backwards and reverses at the end). The interval is cut
+// at every span boundary inside it; each elementary piece is attributed to
+// the innermost span covering it (latest start wins — spans nest, e.g. a
+// sendrecv inside a pipeline stage) or to "idle" when no span covers it.
+// Boundaries are exact event timestamps, so the pieces tile [a, b] exactly.
+void emit_local(const comm::World& world, int rank, double a, double b,
+                std::vector<PathSegment>& rev) {
+  if (!(b > a)) return;
+  const std::vector<comm::TraceEvent>& trace = world.trace(rank);
+  std::vector<double> cuts = {a, b};
+  for (const comm::TraceEvent& e : trace) {
+    if (e.t1 <= a || e.t0 >= b) continue;
+    if (e.t0 > a) cuts.push_back(e.t0);
+    if (e.t1 < b) cuts.push_back(e.t1);
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  for (std::size_t i = cuts.size() - 1; i > 0; --i) {
+    const double x = cuts[i - 1];
+    const double y = cuts[i];
+    if (!(y > x)) continue;
+    const comm::TraceEvent* best = nullptr;
+    for (const comm::TraceEvent& e : trace) {
+      if (e.t0 <= x && e.t1 >= y && e.t1 > e.t0) {
+        if (best == nullptr || e.t0 > best->t0 ||
+            (e.t0 == best->t0 && e.t1 < best->t1)) {
+          best = &e;
+        }
+      }
+    }
+    const PathSegment::Kind kind =
+        best != nullptr ? PathSegment::Kind::Span : PathSegment::Kind::Idle;
+    const std::string label = best != nullptr ? span_label(*best) : "idle";
+    if (!rev.empty() && rev.back().rank == rank && rev.back().kind == kind &&
+        rev.back().label == label && rev.back().t0 == y) {
+      rev.back().t0 = x;  // coalesce with the (later-emitted, earlier) piece
+    } else {
+      PathSegment s;
+      s.kind = kind;
+      s.t0 = x;
+      s.t1 = y;
+      s.rank = rank;
+      s.label = label;
+      s.bytes = best != nullptr ? best->bytes : 0;
+      rev.push_back(std::move(s));
+    }
+  }
+}
+
+}  // namespace
+
+double CriticalPathReport::total_seconds() const {
+  double t = 0.0;
+  for (const PathSegment& s : segments) t += s.duration();
+  return t;
+}
+
+double CriticalPathReport::wire_seconds() const {
+  double t = 0.0;
+  for (const PathSegment& s : segments) {
+    if (s.kind == PathSegment::Kind::Wire) t += s.duration();
+  }
+  return t;
+}
+
+double CriticalPathReport::idle_seconds() const {
+  double t = 0.0;
+  for (const PathSegment& s : segments) {
+    if (s.kind == PathSegment::Kind::Idle) t += s.duration();
+  }
+  return t;
+}
+
+CriticalPathReport analyze_critical_path(const comm::World& world) {
+  CriticalPathReport rep;
+  rep.makespan = world.max_sim_time();
+  const int n = world.size();
+  rep.end_rank = 0;
+  for (int r = 1; r < n; ++r) {
+    if (world.clock(r).now() > world.clock(rep.end_rank).now()) {
+      rep.end_rank = r;
+    }
+  }
+
+  // Index every recorded send by flow id so receive hops can find their
+  // matching sender in O(1).
+  struct SendRef {
+    int rank;
+    const comm::FlowSend* send;
+  };
+  std::unordered_map<std::uint64_t, SendRef> send_by_id;
+  std::size_t total_flows = 0;
+  for (int r = 0; r < n; ++r) {
+    for (const comm::FlowSend& f : world.flow_sends(r)) {
+      send_by_id.emplace(f.id, SendRef{r, &f});
+    }
+    total_flows += world.flow_recvs(r).size();
+  }
+
+  std::vector<PathSegment> rev;  // built latest-first, reversed at the end
+  std::unordered_set<std::uint64_t> visited;
+  int rank = rep.end_rank;
+  double t = rep.makespan;
+  // Each hop consumes one distinct flow id, so the walk terminates; the cap
+  // is a belt-and-braces guard against malformed traces.
+  std::size_t guard = total_flows + static_cast<std::size_t>(n) + 16;
+  while (t > 0.0 && guard-- > 0) {
+    // Latest unvisited receive on `rank` that actually advanced its clock
+    // (blocked): everything after it up to t ran without waiting on the
+    // network, so that stretch is local to this rank.
+    const comm::FlowRecv* hop = nullptr;
+    for (const comm::FlowRecv& f : world.flow_recvs(rank)) {
+      if (!f.blocked || f.t > t || visited.count(f.id) != 0) continue;
+      if (hop == nullptr || f.t > hop->t) hop = &f;
+    }
+    if (hop == nullptr) {
+      emit_local(world, rank, 0.0, t, rev);
+      t = 0.0;
+      break;
+    }
+    emit_local(world, rank, hop->t, t, rev);
+    visited.insert(hop->id);
+    auto it = send_by_id.find(hop->id);
+    if (it == send_by_id.end()) {
+      // Matching send not recorded (malformed trace); close out with idle.
+      emit_local(world, rank, 0.0, hop->t, rev);
+      t = 0.0;
+      break;
+    }
+    const SendRef& sr = it->second;
+    if (hop->t > sr.send->t) {
+      PathSegment wire;
+      wire.kind = PathSegment::Kind::Wire;
+      wire.t0 = sr.send->t;
+      wire.t1 = hop->t;
+      wire.rank = rank;
+      wire.src = sr.rank;
+      wire.bytes = sr.send->bytes;
+      wire.label = sr.send->inter_node ? "wire[inter-node]" : "wire[intra-node]";
+      rev.push_back(std::move(wire));
+    }
+    rank = sr.rank;
+    t = sr.send->t;
+  }
+  std::reverse(rev.begin(), rev.end());
+  rep.segments = std::move(rev);
+
+  // Aggregate per label.
+  std::map<std::string, PathAttribution> agg;
+  for (const PathSegment& s : rep.segments) {
+    PathAttribution& a = agg[s.label];
+    a.label = s.label;
+    a.seconds += s.duration();
+    a.bytes += s.bytes;
+    a.segments += 1;
+  }
+  for (auto& [label, a] : agg) rep.attribution.push_back(std::move(a));
+  std::sort(rep.attribution.begin(), rep.attribution.end(),
+            [](const PathAttribution& x, const PathAttribution& y) {
+              return x.seconds != y.seconds ? x.seconds > y.seconds
+                                            : x.label < y.label;
+            });
+  return rep;
+}
+
+std::string CriticalPathReport::to_string() const {
+  std::ostringstream os;
+  os << "critical path: makespan " << makespan * 1e3 << " ms, ends on rank "
+     << end_rank << ", " << segments.size() << " segments ("
+     << wire_seconds() * 1e3 << " ms wire, " << idle_seconds() * 1e3
+     << " ms idle)\n";
+  for (const PathAttribution& a : attribution) {
+    os << "  " << a.label << ": " << a.seconds * 1e3 << " ms over "
+       << a.segments << " segment(s)";
+    if (a.bytes > 0) os << ", " << a.bytes << " bytes";
+    if (makespan > 0.0) {
+      os << "  (" << 100.0 * a.seconds / makespan << "%)";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+obs::JsonValue CriticalPathReport::to_json() const {
+  obs::JsonValue root = obs::JsonValue::object();
+  root["makespan_sim_seconds"] = makespan;
+  root["end_rank"] = static_cast<std::int64_t>(end_rank);
+  root["total_seconds"] = total_seconds();
+  root["wire_seconds"] = wire_seconds();
+  root["idle_seconds"] = idle_seconds();
+  obs::JsonValue segs = obs::JsonValue::array();
+  for (const PathSegment& s : segments) {
+    obs::JsonValue j = obs::JsonValue::object();
+    const char* kind = s.kind == PathSegment::Kind::Span   ? "span"
+                       : s.kind == PathSegment::Kind::Wire ? "wire"
+                                                           : "idle";
+    j["kind"] = kind;
+    j["label"] = s.label;
+    j["t0"] = s.t0;
+    j["t1"] = s.t1;
+    j["rank"] = static_cast<std::int64_t>(s.rank);
+    if (s.bytes > 0) j["bytes"] = s.bytes;
+    if (s.src >= 0) j["src"] = static_cast<std::int64_t>(s.src);
+    segs.push_back(std::move(j));
+  }
+  root["segments"] = std::move(segs);
+  obs::JsonValue attr = obs::JsonValue::array();
+  for (const PathAttribution& a : attribution) {
+    obs::JsonValue j = obs::JsonValue::object();
+    j["label"] = a.label;
+    j["seconds"] = a.seconds;
+    j["bytes"] = a.bytes;
+    j["segments"] = static_cast<std::int64_t>(a.segments);
+    attr.push_back(std::move(j));
+  }
+  root["attribution"] = std::move(attr);
+  return root;
+}
+
+}  // namespace tsr::perf

@@ -1,0 +1,77 @@
+// Critical-path analysis of a traced simulated run.
+//
+// The makespan of a run is World::max_sim_time() — the largest per-rank
+// clock. This module explains *why* it is what it is: starting from the rank
+// that finished last, it walks backwards through that rank's timeline and,
+// whenever the rank's clock was advanced by a blocking receive, hops across
+// the recorded wire edge (FlowSend -> FlowRecv) to the sender and continues
+// there. The result is a chain of segments — compute/collective spans, idle
+// gaps and wire hops — that tiles [0, makespan] exactly, so the segment
+// durations sum to the makespan by construction.
+//
+// Requires World::enable_tracing() before the run; with tracing off there
+// are no spans or flow records to walk and the report is a single
+// unattributed segment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "obs/json.hpp"
+
+namespace tsr::perf {
+
+/// One link of the critical-path chain. Chronological; adjacent segments
+/// share a boundary, the first starts at 0 and the last ends at makespan.
+struct PathSegment {
+  enum class Kind {
+    Span,  ///< covered by a recorded trace span (collective or kernel)
+    Idle,  ///< on-path rank time not covered by any span
+    Wire,  ///< network hop between the send completion and the arrival
+  };
+
+  Kind kind = Kind::Idle;
+  double t0 = 0.0;  ///< simulated seconds
+  double t1 = 0.0;
+  int rank = -1;   ///< rank whose timeline this lies on (receiver for Wire)
+  std::string label;        ///< attribution key, e.g. "all_reduce[g=4]"
+  std::int64_t bytes = 0;   ///< span payload / wire bytes (0 if unknown)
+  int src = -1;             ///< Wire only: sending world rank
+
+  double duration() const { return t1 - t0; }
+};
+
+/// Aggregated time per attribution label across the whole chain.
+struct PathAttribution {
+  std::string label;
+  double seconds = 0.0;
+  std::int64_t bytes = 0;
+  int segments = 0;
+};
+
+struct CriticalPathReport {
+  double makespan = 0.0;
+  int end_rank = -1;  ///< rank whose clock equals the makespan
+  /// Chronological chain tiling [0, makespan].
+  std::vector<PathSegment> segments;
+  /// Per-label totals, sorted by descending seconds.
+  std::vector<PathAttribution> attribution;
+
+  /// Sum of segment durations; equals makespan up to fp rounding.
+  double total_seconds() const;
+  /// Seconds attributed to wire hops (network latency on the path).
+  double wire_seconds() const;
+  /// Seconds in on-path gaps no span covers.
+  double idle_seconds() const;
+
+  std::string to_string() const;
+  obs::JsonValue to_json() const;
+};
+
+/// Walks the recorded timelines of `world` (most recent traced run) and
+/// returns the chain that determined World::max_sim_time().
+CriticalPathReport analyze_critical_path(const comm::World& world);
+
+}  // namespace tsr::perf

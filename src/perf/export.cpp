@@ -1,0 +1,88 @@
+#include "perf/export.hpp"
+
+#include <utility>
+
+namespace tsr::perf {
+
+obs::JsonValue stats_to_json(const comm::CommStats& stats) {
+  obs::JsonValue j = obs::JsonValue::object();
+  j["msgs_sent"] = stats.msgs_sent;
+  j["bytes_sent"] = stats.bytes_sent;
+  j["bytes_intra_node"] = stats.bytes_intra_node;
+  j["bytes_inter_node"] = stats.bytes_inter_node;
+  obs::JsonValue colls = obs::JsonValue::object();
+  for (const auto& [name, op] : stats.collectives) {
+    obs::JsonValue o = obs::JsonValue::object();
+    o["calls"] = op.calls;
+    o["bytes"] = op.bytes;
+    colls[name] = std::move(o);
+  }
+  j["collectives"] = std::move(colls);
+  return j;
+}
+
+obs::JsonValue measurement_to_json(const Measurement& m) {
+  obs::JsonValue j = obs::JsonValue::object();
+  j["sim_seconds"] = m.sim_seconds;
+  j["total_stats"] = stats_to_json(m.total_stats);
+  return j;
+}
+
+obs::JsonValue snapshot_to_json(const obs::Snapshot& snap) {
+  obs::JsonValue j = obs::JsonValue::object();
+  obs::JsonValue counters = obs::JsonValue::object();
+  for (const auto& [name, v] : snap.counters) counters[name] = v;
+  j["counters"] = std::move(counters);
+  obs::JsonValue gauges = obs::JsonValue::object();
+  for (const auto& [name, v] : snap.gauges) gauges[name] = v;
+  j["gauges"] = std::move(gauges);
+  obs::JsonValue hists = obs::JsonValue::object();
+  for (const auto& [name, h] : snap.histograms) {
+    obs::JsonValue o = obs::JsonValue::object();
+    o["count"] = h.count;
+    o["sum"] = h.sum;
+    o["min"] = h.min;
+    o["max"] = h.max;
+    o["mean"] = h.mean();
+    // Sparse bucket dump: {floor_seconds: count} for non-empty buckets only
+    // (64 mostly-zero entries per histogram would swamp the report).
+    obs::JsonValue buckets = obs::JsonValue::object();
+    for (int i = 0; i < obs::HistogramData::kBuckets; ++i) {
+      if (h.buckets[static_cast<std::size_t>(i)] > 0) {
+        buckets[std::to_string(obs::HistogramData::bucket_floor(i))] =
+            h.buckets[static_cast<std::size_t>(i)];
+      }
+    }
+    o["buckets"] = std::move(buckets);
+    hists[name] = std::move(o);
+  }
+  j["histograms"] = std::move(hists);
+  return j;
+}
+
+BenchReport::BenchReport(std::string bench_name)
+    : root_(obs::JsonValue::object()) {
+  root_["bench"] = std::move(bench_name);
+  root_["cases"] = obs::JsonValue::array();
+}
+
+obs::JsonValue& BenchReport::add_case(const std::string& name) {
+  obs::JsonValue c = obs::JsonValue::object();
+  c["name"] = name;
+  obs::JsonValue& cases = root_["cases"];
+  cases.push_back(std::move(c));
+  return cases.back();
+}
+
+obs::JsonValue& BenchReport::add_case(const std::string& name,
+                                      const Measurement& m) {
+  obs::JsonValue& c = add_case(name);
+  c["measurement"] = measurement_to_json(m);
+  return c;
+}
+
+bool BenchReport::write(const std::string& path) const {
+  return obs::write_json_file(path, root_, 2);
+}
+
+}  // namespace tsr::perf

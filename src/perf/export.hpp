@@ -1,0 +1,43 @@
+// Machine-readable telemetry reports.
+//
+// Converts the measurement/statistics/metrics structs into JsonValue trees
+// and provides the BenchReport builder the bench binaries use to emit
+// BENCH_<name>.json next to their stdout tables, so scaling results can be
+// diffed and plotted without scraping text.
+#pragma once
+
+#include <string>
+
+#include "comm/stats.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "perf/critical_path.hpp"
+#include "perf/trace.hpp"
+
+namespace tsr::perf {
+
+obs::JsonValue stats_to_json(const comm::CommStats& stats);
+obs::JsonValue measurement_to_json(const Measurement& m);
+obs::JsonValue snapshot_to_json(const obs::Snapshot& snap);
+
+/// Accumulates named benchmark cases and writes one JSON document:
+///   {"bench": <name>, "cases": [{"name": ..., <fields>}, ...]}
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name);
+
+  /// Starts a new case and returns its (mutable) JSON object; add measurement
+  /// results or arbitrary extra fields to it.
+  obs::JsonValue& add_case(const std::string& name);
+  /// Convenience: case holding a Measurement under "measurement".
+  obs::JsonValue& add_case(const std::string& name, const Measurement& m);
+
+  const obs::JsonValue& root() const { return root_; }
+  /// Writes the report to `path` (pretty-printed); false on I/O failure.
+  bool write(const std::string& path) const;
+
+ private:
+  obs::JsonValue root_;
+};
+
+}  // namespace tsr::perf

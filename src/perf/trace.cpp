@@ -6,6 +6,11 @@ Measurement measure(comm::World& world,
                     const std::function<void(comm::Communicator&)>& fn) {
   world.reset_clocks();
   world.reset_stats();
+  // Also drop spans and wire-flow records from earlier runs: after the clock
+  // reset they would otherwise splice into the fresh timeline at stale
+  // simulated timestamps and corrupt both the Chrome export and the
+  // critical-path analysis.
+  world.reset_traces();
   world.run(fn);
   Measurement m;
   m.sim_seconds = world.max_sim_time();

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/memory.hpp"
+
 namespace tsr {
 
 void check(bool cond, const std::string& what) {
@@ -36,7 +38,13 @@ std::string shape_to_string(const Shape& shape) {
 Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
   numel_ = shape_numel(shape_);
   if (numel_ > 0) {
-    data_ = std::shared_ptr<float[]>(new float[static_cast<std::size_t>(numel_)]);
+    const std::int64_t bytes = numel_ * static_cast<std::int64_t>(sizeof(float));
+    obs::track_tensor_alloc(bytes);
+    data_ = std::shared_ptr<float[]>(new float[static_cast<std::size_t>(numel_)],
+                                     [bytes](float* p) {
+                                       obs::track_tensor_free(bytes);
+                                       delete[] p;
+                                     });
   }
 }
 

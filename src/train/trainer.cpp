@@ -19,11 +19,15 @@ void shuffle_indices(std::vector<int>& idx, Rng& rng) {
 
 // One epoch over `data` with any model exposing forward/backward/zero_grad/
 // params. Identical code path for serial and distributed models is what
-// makes the Fig. 7 comparison an apples-to-apples run.
+// makes the Fig. 7 comparison an apples-to-apples run. `metrics`/`clock` may
+// be null (serial model, telemetry off); the scoped timers are no-ops then,
+// so the shared code path stays shared.
 template <typename Model>
 EpochStats run_epoch(Model& model, nn::Optimizer& opt,
                      const SyntheticImageDataset& data,
-                     const TrainConfig& cfg, int epoch) {
+                     const TrainConfig& cfg, int epoch,
+                     obs::Registry* metrics = nullptr,
+                     const rt::SimClock* clock = nullptr) {
   std::vector<int> idx(static_cast<std::size_t>(data.size()));
   std::iota(idx.begin(), idx.end(), 0);
   Rng shuffle_rng(cfg.shuffle_seed, static_cast<std::uint64_t>(epoch));
@@ -39,12 +43,37 @@ EpochStats run_epoch(Model& model, nn::Optimizer& opt,
     Tensor images = data.images(batch);
     std::vector<int> labels = data.labels(batch);
 
-    Tensor logits = model.forward(images);
-    nn::LossResult loss = nn::softmax_cross_entropy(logits, labels);
-    model.zero_grad();
-    model.backward(loss.dlogits);
-    std::vector<nn::Param*> params = model.params();
-    opt.step(params);
+    const double step_t0 = clock != nullptr ? clock->now() : 0.0;
+    Tensor logits;
+    nn::LossResult loss;
+    {
+      obs::ScopedTimer t(metrics, clock, "train.forward.sim_seconds");
+      logits = model.forward(images);
+      loss = nn::softmax_cross_entropy(logits, labels);
+    }
+    {
+      obs::ScopedTimer t(metrics, clock, "train.backward.sim_seconds");
+      model.zero_grad();
+      model.backward(loss.dlogits);
+    }
+    {
+      obs::ScopedTimer t(metrics, clock, "train.optimizer.sim_seconds");
+      std::vector<nn::Param*> params = model.params();
+      opt.step(params);
+    }
+    if (metrics != nullptr) {
+      metrics->counter_add("train.steps");
+      metrics->counter_add("train.samples", cfg.batch_size);
+      metrics->gauge_set("train.loss", static_cast<double>(loss.loss));
+      if (clock != nullptr) {
+        const double dt = clock->now() - step_t0;
+        metrics->histogram_observe("train.step.sim_seconds", dt);
+        if (dt > 0.0) {
+          metrics->gauge_set("train.samples_per_sim_second",
+                             static_cast<double>(cfg.batch_size) / dt);
+        }
+      }
+    }
 
     loss_sum += static_cast<double>(loss.loss) * cfg.batch_size;
     correct += static_cast<int>(accuracy(logits, labels) *
@@ -88,8 +117,13 @@ std::vector<EpochStats> train_vit_tesseract(const SyntheticImageDataset& data,
     Rng wrng(cfg.weight_seed);
     TesseractVisionTransformer model(ctx, model_cfg, wrng);
     nn::Adam opt(cfg.lr, 0.9f, 0.999f, 1e-8f, cfg.weight_decay);
+    // Step metrics are recorded by rank 0 only — every rank computes the
+    // identical loss/step, so one reporter keeps counters un-inflated.
+    obs::Registry* metrics =
+        (c.rank() == 0 && world.metrics_enabled()) ? &world.metrics() : nullptr;
     for (int e = 0; e < cfg.epochs; ++e) {
-      EpochStats stats = run_epoch(model, opt, data, cfg, e);
+      EpochStats stats =
+          run_epoch(model, opt, data, cfg, e, metrics, &c.clock());
       if (c.rank() == 0) history[static_cast<std::size_t>(e)] = stats;
     }
   });

@@ -1,0 +1,145 @@
+// Critical-path analysis: the reported chain must tile [0, makespan] exactly
+// and attribute it to real spans and wire hops.
+#include <gtest/gtest.h>
+
+#include "pdgemm/tesseract_mm.hpp"
+#include "perf/critical_path.hpp"
+#include "perf/export.hpp"
+#include "perf/trace.hpp"
+#include "tensor/init.hpp"
+
+namespace tsr::perf {
+namespace {
+
+// The chain must be chronological, gap-free and span [0, makespan]: that is
+// what makes "the segment durations sum to the makespan" true by
+// construction rather than approximately.
+void expect_tiles_makespan(const CriticalPathReport& rep) {
+  ASSERT_FALSE(rep.segments.empty());
+  EXPECT_DOUBLE_EQ(rep.segments.front().t0, 0.0);
+  EXPECT_DOUBLE_EQ(rep.segments.back().t1, rep.makespan);
+  for (std::size_t i = 1; i < rep.segments.size(); ++i) {
+    EXPECT_DOUBLE_EQ(rep.segments[i].t0, rep.segments[i - 1].t1) << i;
+  }
+  EXPECT_NEAR(rep.total_seconds(), rep.makespan, 1e-9);
+  double attributed = 0.0;
+  for (const PathAttribution& a : rep.attribution) attributed += a.seconds;
+  EXPECT_NEAR(attributed, rep.makespan, 1e-9);
+}
+
+TEST(CriticalPath, Tesseract222GemmSumsToMakespan) {
+  Rng rng(7);
+  Tensor a = random_normal({96, 96}, rng);
+  Tensor b = random_normal({96, 96}, rng);
+  comm::World world(8, topo::MachineSpec::meluxina());
+  world.enable_tracing();
+  world.run([&](comm::Communicator& c) {
+    pdg::TesseractComms tc = pdg::TesseractComms::create(c, 2, 2);
+    Tensor ab = pdg::distribute_a_layout(tc, a);
+    Tensor bb = pdg::distribute_b_layout(tc, b);
+    (void)pdg::tesseract_ab_local(tc, ab, bb);
+  });
+  const CriticalPathReport rep = analyze_critical_path(world);
+  EXPECT_GT(rep.makespan, 0.0);
+  EXPECT_DOUBLE_EQ(rep.makespan, world.max_sim_time());
+  expect_tiles_makespan(rep);
+  // The GEMM-dominated path must attribute compute and broadcast wire time.
+  bool saw_gemm = false, saw_wire = false;
+  for (const PathAttribution& at : rep.attribution) {
+    if (at.label == "gemm") saw_gemm = true;
+    if (at.label.rfind("wire", 0) == 0) saw_wire = true;
+  }
+  EXPECT_TRUE(saw_gemm);
+  EXPECT_TRUE(saw_wire);
+}
+
+TEST(CriticalPath, CrossRankChainWalksSendEdges) {
+  // Rank 0 computes (charged kernel), sends to rank 1, which waits: the
+  // makespan belongs to rank 1 but the path must cross to rank 0's kernel.
+  comm::World world(2, topo::MachineSpec::meluxina());
+  world.enable_tracing();
+  world.run([&](comm::Communicator& c) {
+    std::vector<float> v(256, 1.0f);
+    if (c.rank() == 0) {
+      pdg::charge_memory_bound(c, 1 << 20);  // rank 0 is the straggler
+      c.send(1, 0, v);
+    } else {
+      (void)c.recv(0, 0);
+    }
+  });
+  const CriticalPathReport rep = analyze_critical_path(world);
+  expect_tiles_makespan(rep);
+  EXPECT_EQ(rep.end_rank, 1);
+  bool on_rank0 = false, wire = false;
+  for (const PathSegment& s : rep.segments) {
+    if (s.rank == 0 && s.kind == PathSegment::Kind::Span) on_rank0 = true;
+    if (s.kind == PathSegment::Kind::Wire) {
+      wire = true;
+      EXPECT_EQ(s.src, 0);
+      EXPECT_EQ(s.rank, 1);
+    }
+  }
+  EXPECT_TRUE(on_rank0);
+  EXPECT_TRUE(wire);
+}
+
+TEST(CriticalPath, UntracedWorldReportsSingleUnattributedStretch) {
+  comm::World world(2, topo::MachineSpec::meluxina());
+  world.run([&](comm::Communicator& c) {
+    std::vector<float> v(64, 1.0f);
+    c.all_reduce(v);
+  });
+  const CriticalPathReport rep = analyze_critical_path(world);
+  EXPECT_GT(rep.makespan, 0.0);
+  expect_tiles_makespan(rep);
+  ASSERT_EQ(rep.segments.size(), 1u);
+  EXPECT_EQ(rep.segments.front().label, "idle");
+}
+
+TEST(CriticalPath, SurvivesRepeatMeasurement) {
+  // perf::measure resets traces between runs; the analysis of the second run
+  // must see only the second run's spans (regression test for stale traces).
+  Rng rng(3);
+  Tensor a = random_normal({32, 32}, rng);
+  Tensor b = random_normal({32, 32}, rng);
+  comm::World world(4, topo::MachineSpec::meluxina());
+  world.enable_tracing();
+  auto gemm = [&](comm::Communicator& c) {
+    pdg::TesseractComms tc = pdg::TesseractComms::create(c, 2, 1);
+    Tensor ab = pdg::distribute_a_layout(tc, a);
+    Tensor bb = pdg::distribute_b_layout(tc, b);
+    (void)pdg::tesseract_ab_local(tc, ab, bb);
+  };
+  const Measurement m1 = measure(world, gemm);
+  const Measurement m2 = measure(world, gemm);
+  EXPECT_DOUBLE_EQ(m1.sim_seconds, m2.sim_seconds);
+  const CriticalPathReport rep = analyze_critical_path(world);
+  EXPECT_DOUBLE_EQ(rep.makespan, m2.sim_seconds);
+  expect_tiles_makespan(rep);
+  // No span may outlive the fresh timeline — stale spans from run 1 would.
+  for (int r = 0; r < 4; ++r) {
+    for (const comm::TraceEvent& e : world.trace(r)) {
+      EXPECT_LE(e.t1, rep.makespan + 1e-12);
+    }
+  }
+}
+
+TEST(CriticalPath, JsonReportParsesAndMatches) {
+  comm::World world(2, topo::MachineSpec::meluxina());
+  world.enable_tracing();
+  world.run([&](comm::Communicator& c) {
+    std::vector<float> v(128, 1.0f);
+    c.all_reduce(v);
+  });
+  const CriticalPathReport rep = analyze_critical_path(world);
+  std::string err;
+  const obs::JsonValue round = obs::json_parse(rep.to_json().dump(2), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_DOUBLE_EQ(round.find("makespan_sim_seconds")->as_double(),
+                   rep.makespan);
+  EXPECT_EQ(round.find("segments")->size(), rep.segments.size());
+  EXPECT_EQ(round.find("attribution")->size(), rep.attribution.size());
+}
+
+}  // namespace
+}  // namespace tsr::perf

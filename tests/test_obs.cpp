@@ -1,0 +1,165 @@
+// Unit tests for the obs/ telemetry primitives: metrics registry, scoped
+// timers over the simulated clock, live-tensor accounting and the JSON
+// document model the exporters are built on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/memory.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/sim_clock.hpp"
+#include "tensor/tensor.hpp"
+
+namespace tsr::obs {
+namespace {
+
+TEST(Metrics, CountersGaugesAccumulate) {
+  Registry reg;
+  reg.counter_add("msgs");
+  reg.counter_add("msgs", 4);
+  reg.gauge_set("loss", 2.5);
+  reg.gauge_set("loss", 1.25);
+  reg.gauge_max("peak", 3.0);
+  reg.gauge_max("peak", 2.0);  // lower value must not win
+  Snapshot s = reg.snapshot();
+  EXPECT_EQ(s.counters.at("msgs"), 5);
+  EXPECT_DOUBLE_EQ(s.gauges.at("loss"), 1.25);
+  EXPECT_DOUBLE_EQ(s.gauges.at("peak"), 3.0);
+  reg.reset();
+  EXPECT_TRUE(reg.snapshot().empty());
+}
+
+TEST(Metrics, HistogramBucketsAndStats) {
+  Registry reg;
+  reg.histogram_observe("t", 1e-9);   // bucket 0 floor
+  reg.histogram_observe("t", 3e-9);   // [2ns, 4ns) -> bucket 1
+  reg.histogram_observe("t", 1.0);    // ~2^30 ns
+  Snapshot s = reg.snapshot();
+  const HistogramData& h = s.histograms.at("t");
+  EXPECT_EQ(h.count, 3);
+  EXPECT_DOUBLE_EQ(h.min, 1e-9);
+  EXPECT_DOUBLE_EQ(h.max, 1.0);
+  EXPECT_NEAR(h.mean(), (1e-9 + 3e-9 + 1.0) / 3.0, 1e-12);
+  EXPECT_EQ(h.buckets[static_cast<std::size_t>(HistogramData::bucket_of(3e-9))],
+            1);
+  // Degenerate inputs collapse into bucket 0 instead of indexing wild.
+  EXPECT_EQ(HistogramData::bucket_of(0.0), 0);
+  EXPECT_EQ(HistogramData::bucket_of(-5.0), 0);
+  EXPECT_EQ(HistogramData::bucket_of(1e300), HistogramData::kBuckets - 1);
+  // bucket_floor is the inverse boundary: value at a floor lands in that
+  // bucket.
+  for (int i : {0, 1, 7, 30, 63}) {
+    EXPECT_EQ(HistogramData::bucket_of(HistogramData::bucket_floor(i)), i);
+  }
+}
+
+TEST(Metrics, ScopedTimerRecordsSimulatedElapsed) {
+  Registry reg;
+  rt::SimClock clock;
+  {
+    ScopedTimer t(&reg, &clock, "op");
+    clock.advance(0.25);
+  }
+  Snapshot s = reg.snapshot();
+  ASSERT_EQ(s.histograms.count("op"), 1u);
+  EXPECT_DOUBLE_EQ(s.histograms.at("op").sum, 0.25);
+  // Null registry or clock: a no-op, usable unconditionally at call sites.
+  { ScopedTimer t(nullptr, &clock, "op"); clock.advance(1.0); }
+  { ScopedTimer t(&reg, nullptr, "op"); }
+  EXPECT_EQ(reg.snapshot().histograms.at("op").count, 1);
+}
+
+TEST(Memory, TracksLiveAndPeakTensorBytes) {
+  const std::int64_t before = live_tensor_bytes();
+  {
+    Tensor t({64, 64});
+    EXPECT_EQ(live_tensor_bytes() - before,
+              64 * 64 * static_cast<std::int64_t>(sizeof(float)));
+    EXPECT_GE(peak_tensor_bytes(), live_tensor_bytes());
+  }
+  EXPECT_EQ(live_tensor_bytes(), before);
+}
+
+TEST(Json, DumpCompactAndPretty) {
+  JsonValue root = JsonValue::object();
+  root["name"] = "bench";
+  root["n"] = static_cast<std::int64_t>(3);
+  root["ratio"] = 0.5;
+  root["ok"] = true;
+  root["none"] = JsonValue();
+  JsonValue arr = JsonValue::array();
+  arr.push_back(1);
+  arr.push_back("two");
+  root["items"] = std::move(arr);
+  EXPECT_EQ(root.dump(),
+            "{\"name\":\"bench\",\"n\":3,\"ratio\":0.5,\"ok\":true,"
+            "\"none\":null,\"items\":[1,\"two\"]}");
+  // Pretty form parses back to the same tree.
+  std::string err;
+  JsonValue again = json_parse(root.dump(2), &err);
+  EXPECT_TRUE(err.empty()) << err;
+  EXPECT_EQ(again.dump(), root.dump());
+}
+
+TEST(Json, EscapesAndNonFinite) {
+  JsonValue v = JsonValue::object();
+  v["s"] = "a\"b\\c\n\t\x01";
+  v["inf"] = std::numeric_limits<double>::infinity();
+  v["nan"] = std::nan("");
+  const std::string out = v.dump();
+  EXPECT_NE(out.find("a\\\"b\\\\c\\n\\t\\u0001"), std::string::npos);
+  // JSON has no Inf/NaN; they serialize as null so the document stays valid.
+  std::string err;
+  JsonValue parsed = json_parse(out, &err);
+  EXPECT_TRUE(err.empty()) << err;
+  EXPECT_TRUE(parsed.find("inf")->is_null());
+  EXPECT_TRUE(parsed.find("nan")->is_null());
+}
+
+TEST(Json, ParseAcceptsRfc8259Constructs) {
+  std::string err;
+  JsonValue v = json_parse(
+      " { \"a\" : [ -1 , 2.5e-3 , \"\\u0041\\u00e9\" , { } , [ ] ,"
+      " true , false , null ] } ",
+      &err);
+  ASSERT_TRUE(err.empty()) << err;
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->size(), 8u);
+  EXPECT_EQ(a->items()[0].as_int(), -1);
+  EXPECT_DOUBLE_EQ(a->items()[1].as_double(), 2.5e-3);
+  EXPECT_EQ(a->items()[2].as_string(), "A\xC3\xA9");  // BMP \u escapes
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  for (const char* bad : {"", "{", "[1,]", "{\"a\":}", "tru", "1 2",
+                          "\"unterminated", "{\"a\" 1}", "[-]"}) {
+    std::string err;
+    JsonValue v = json_parse(bad, &err);
+    EXPECT_TRUE(v.is_null()) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+}
+
+TEST(Json, WriteFileRoundTripAndFailure) {
+  JsonValue v = JsonValue::object();
+  v["x"] = static_cast<std::int64_t>(7);
+  const std::string path = "/tmp/tsr_obs_json_test.json";
+  ASSERT_TRUE(write_json_file(path, v));
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string err;
+  EXPECT_EQ(json_parse(ss.str(), &err).find("x")->as_int(), 7);
+  EXPECT_TRUE(err.empty()) << err;
+  std::remove(path.c_str());
+  EXPECT_FALSE(write_json_file("/nonexistent-dir/x/y.json", v));
+}
+
+}  // namespace
+}  // namespace tsr::obs

@@ -4,9 +4,14 @@
 
 #include <cstdio>
 #include <fstream>
+#include <functional>
+#include <map>
+#include <memory>
 #include <sstream>
 
 #include "comm/communicator.hpp"
+#include "obs/json.hpp"
+#include "perf/trace.hpp"
 #include "parallel/dist.hpp"
 #include "parallel/pipeline.hpp"
 #include "pdgemm/tesseract_mm.hpp"
@@ -101,6 +106,274 @@ TEST(Tracing, ChromeExportIsWellFormedJson) {
 TEST(Tracing, ExportFailsGracefullyOnBadPath) {
   World world(1);
   EXPECT_FALSE(world.write_chrome_trace("/nonexistent-dir/x/y.json"));
+}
+
+TEST(Tracing, SpansCarryBytesKindSeqAndGroup) {
+  World world(4, topo::MachineSpec::meluxina());
+  world.enable_tracing();
+  world.run([&](Communicator& c) {
+    std::vector<float> v(100, 1.0f);
+    c.all_reduce(v);
+  });
+  for (int r = 0; r < 4; ++r) {
+    const auto& events = world.trace(r);
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].bytes, 400);  // logical payload of the collective
+    EXPECT_EQ(events[0].kind, SpanKind::Collective);
+    EXPECT_EQ(events[0].group, 4);
+    EXPECT_EQ(events[0].seq, 0u);
+  }
+}
+
+TEST(Tracing, TelemetryOnDoesNotChangeSimulatedResults) {
+  auto run = [](bool telemetry, double* sim, std::string* stats) {
+    World world(6, topo::MachineSpec::meluxina());
+    if (telemetry) {
+      world.enable_tracing();
+      world.enable_metrics();
+    }
+    world.run([&](Communicator& c) {
+      std::vector<float> v(1000, static_cast<float>(c.rank()));
+      c.all_reduce(v);
+      c.broadcast(v, 2);
+      std::vector<float> out(v.size() * 6);
+      c.all_gather(v, out);
+    });
+    *sim = world.max_sim_time();
+    *stats = world.total_stats().to_string();
+  };
+  double sim_off = 0.0, sim_on = 0.0;
+  std::string stats_off, stats_on;
+  run(false, &sim_off, &stats_off);
+  run(true, &sim_on, &stats_on);
+  // Bit-identical, not merely close: telemetry never touches a clock.
+  EXPECT_EQ(sim_off, sim_on);
+  EXPECT_EQ(stats_off, stats_on);
+}
+
+TEST(Tracing, MetricsRegistryAggregatesCollectives) {
+  World world(4, topo::MachineSpec::meluxina());
+  world.enable_metrics();
+  world.run([&](Communicator& c) {
+    std::vector<float> v(64, 1.0f);
+    c.all_reduce(v);
+    c.all_reduce(v);
+  });
+  obs::Snapshot snap = world.metrics().snapshot();
+  ASSERT_EQ(snap.histograms.count("comm.all_reduce.sim_seconds"), 1u);
+  EXPECT_EQ(snap.histograms.at("comm.all_reduce.sim_seconds").count, 8);
+  EXPECT_EQ(snap.counters.at("comm.all_reduce.bytes"), 8 * 64 * 4);
+  // Disabled by default: a fresh world records nothing.
+  World quiet(2, topo::MachineSpec::meluxina());
+  quiet.run([&](Communicator& c) {
+    std::vector<float> v(8, 0.0f);
+    c.all_reduce(v);
+  });
+  EXPECT_TRUE(quiet.metrics().snapshot().empty());
+}
+
+// Phantom collectives replay the identical message pattern with declared
+// byte counts; the simulated duration and every statistic must match the
+// real collective exactly — that equivalence is what lets the benches run
+// paper-scale schedules without paper-scale memory.
+TEST(Tracing, PhantomTwinsMatchRealCollectives) {
+  struct Case {
+    const char* name;
+    std::function<void(Communicator&)> real;
+    std::function<void(Communicator&)> phantom;
+  };
+  // 6 ranks on MeluXina spans two 4-GPU nodes: intra- and inter-node links.
+  // Counts are deliberately not divisible by the group size, and the large
+  // all_reduce crosses the pipelined-protocol threshold (64 KiB).
+  const std::int64_t small = 67;
+  const std::int64_t large = 50000;  // 200 KB > kPipelinedCollectiveBytes
+  std::vector<Case> cases;
+  cases.push_back({"broadcast",
+                   [&](Communicator& c) {
+                     std::vector<float> v(static_cast<std::size_t>(small), 1.f);
+                     c.broadcast(v, 1);
+                   },
+                   [&](Communicator& c) { c.phantom_broadcast(1, small * 4); }});
+  cases.push_back({"reduce",
+                   [&](Communicator& c) {
+                     std::vector<float> v(static_cast<std::size_t>(small), 1.f);
+                     c.reduce(v, 0);
+                   },
+                   [&](Communicator& c) { c.phantom_reduce(0, small * 4); }});
+  cases.push_back({"all_reduce small",
+                   [&](Communicator& c) {
+                     std::vector<float> v(static_cast<std::size_t>(small), 1.f);
+                     c.all_reduce(v);
+                   },
+                   [&](Communicator& c) { c.phantom_all_reduce(small * 4); }});
+  cases.push_back({"all_reduce large",
+                   [&](Communicator& c) {
+                     std::vector<float> v(static_cast<std::size_t>(large), 1.f);
+                     c.all_reduce(v);
+                   },
+                   [&](Communicator& c) { c.phantom_all_reduce(large * 4); }});
+  cases.push_back({"all_gather",
+                   [&](Communicator& c) {
+                     std::vector<float> v(static_cast<std::size_t>(small), 1.f);
+                     std::vector<float> out(v.size() * 6);
+                     c.all_gather(v, out);
+                   },
+                   [&](Communicator& c) { c.phantom_all_gather(small * 4); }});
+  cases.push_back(
+      {"reduce_scatter",
+       [&](Communicator& c) {
+         std::vector<float> data(static_cast<std::size_t>(small) * 6, 1.f);
+         std::vector<float> out(static_cast<std::size_t>(small));
+         c.reduce_scatter(data, out);
+       },
+       [&](Communicator& c) { c.phantom_reduce_scatter(small * 6 * 4); }});
+  cases.push_back(
+      {"sendrecv ring",
+       [&](Communicator& c) {
+         std::vector<float> v(static_cast<std::size_t>(small), 1.f);
+         std::vector<float> out(v.size());
+         c.sendrecv((c.rank() + 1) % 6, v, (c.rank() + 5) % 6, out, 9);
+       },
+       [&](Communicator& c) {
+         c.phantom_sendrecv((c.rank() + 1) % 6, (c.rank() + 5) % 6, small * 4);
+       }});
+
+  for (const Case& tc : cases) {
+    World real_world(6, topo::MachineSpec::meluxina());
+    real_world.run(tc.real);
+    World phantom_world(6, topo::MachineSpec::meluxina());
+    phantom_world.run(tc.phantom);
+    EXPECT_EQ(real_world.max_sim_time(), phantom_world.max_sim_time())
+        << tc.name;
+    EXPECT_EQ(real_world.total_stats().to_string(),
+              phantom_world.total_stats().to_string())
+        << tc.name;
+    for (int r = 0; r < 6; ++r) {
+      EXPECT_EQ(real_world.clock(r).now(), phantom_world.clock(r).now())
+          << tc.name << " rank " << r;
+      EXPECT_EQ(real_world.stats(r).to_string(),
+                phantom_world.stats(r).to_string())
+          << tc.name << " rank " << r;
+    }
+  }
+}
+
+// Structural checks of the exported Perfetto JSON, parsed with the obs JSON
+// parser as the validity oracle.
+class ChromeExportTest : public ::testing::Test {
+ protected:
+  // 6 ranks over two nodes; mixed collectives give spans, flows, counters.
+  void SetUp() override {
+    world_ = std::make_unique<World>(6, topo::MachineSpec::meluxina());
+    world_->enable_tracing();
+    world_->run([&](Communicator& c) {
+      std::vector<float> v(256, static_cast<float>(c.rank()));
+      c.all_reduce(v);
+      c.broadcast(v, 0);
+    });
+    const std::string path = "/tmp/tsr_chrome_export_test.json";
+    ASSERT_TRUE(world_->write_chrome_trace(path));
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    std::remove(path.c_str());
+    std::string err;
+    doc_ = obs::json_parse(ss.str(), &err);
+    ASSERT_TRUE(err.empty()) << err;
+    events_ = doc_.find("traceEvents");
+    ASSERT_NE(events_, nullptr);
+    ASSERT_TRUE(events_->is_array());
+  }
+
+  std::unique_ptr<World> world_;
+  obs::JsonValue doc_;
+  const obs::JsonValue* events_ = nullptr;
+};
+
+TEST_F(ChromeExportTest, OneProcessPerNodeOneThreadPerRank) {
+  int process_names = 0;
+  int thread_names = 0;
+  for (const obs::JsonValue& e : events_->items()) {
+    const std::string ph = e.find("ph")->as_string();
+    const std::string name = e.find("name")->as_string();
+    if (ph == "M" && name == "process_name") ++process_names;
+    if (ph == "M" && name == "thread_name") ++thread_names;
+    // Every event sits in the trace process of its rank's node.
+    if (ph == "X" || ph == "s" || ph == "f" || ph == "C") {
+      const int pid = static_cast<int>(e.find("pid")->as_int());
+      const int tid = static_cast<int>(e.find("tid")->as_int());
+      EXPECT_EQ(pid, world_->spec().node_of(tid));
+    }
+  }
+  EXPECT_EQ(process_names, 2);  // ranks 0-3 on node 0, ranks 4-5 on node 1
+  EXPECT_EQ(thread_names, 6);
+}
+
+TEST_F(ChromeExportTest, FlowEventsPairUp) {
+  std::map<std::int64_t, int> starts, ends;
+  for (const obs::JsonValue& e : events_->items()) {
+    const std::string ph = e.find("ph")->as_string();
+    if (ph == "s") ++starts[e.find("id")->as_int()];
+    if (ph == "f") {
+      ++ends[e.find("id")->as_int()];
+      // Binding point "enclosing slice" is what links f to the receive span.
+      EXPECT_EQ(e.find("bp")->as_string(), "e");
+    }
+  }
+  EXPECT_FALSE(starts.empty());
+  EXPECT_EQ(starts, ends);  // every send edge terminates at exactly one recv
+  for (const auto& [id, n] : starts) EXPECT_EQ(n, 1) << "flow id " << id;
+}
+
+TEST_F(ChromeExportTest, WireByteCountersAreMonotone) {
+  // Per rank, the cumulative intra/inter counter series never decreases and
+  // its final value matches the rank's CommStats.
+  std::map<int, std::pair<std::int64_t, std::int64_t>> last;
+  std::map<int, double> last_ts;
+  for (const obs::JsonValue& e : events_->items()) {
+    if (e.find("ph")->as_string() != "C") continue;
+    const std::string name = e.find("name")->as_string();
+    if (name.rfind("wire bytes", 0) != 0) continue;
+    const int tid = static_cast<int>(e.find("tid")->as_int());
+    const double ts = e.find("ts")->as_double();
+    const std::int64_t intra = e.find("args")->find("intra_node")->as_int();
+    const std::int64_t inter = e.find("args")->find("inter_node")->as_int();
+    auto it = last.find(tid);
+    if (it != last.end()) {
+      EXPECT_GE(ts, last_ts[tid]);
+      EXPECT_GE(intra, it->second.first);
+      EXPECT_GE(inter, it->second.second);
+    }
+    last[tid] = {intra, inter};
+    last_ts[tid] = ts;
+  }
+  ASSERT_EQ(last.size(), 6u);
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_EQ(last[r].first, world_->stats(r).bytes_intra_node) << r;
+    EXPECT_EQ(last[r].second, world_->stats(r).bytes_inter_node) << r;
+  }
+}
+
+TEST(Tracing, MeasureResetsStaleTraces) {
+  // Without World::reset_traces() in perf::measure, the second measurement
+  // would carry the first run's spans at stale timestamps.
+  World world(2, topo::MachineSpec::meluxina());
+  world.enable_tracing();
+  auto body = [](Communicator& c) {
+    std::vector<float> v(128, 1.0f);
+    c.all_reduce(v);
+  };
+  (void)perf::measure(world, body);
+  const std::size_t first_spans = world.trace(0).size();
+  const std::size_t first_sends = world.flow_sends(0).size();
+  const std::size_t first_recvs = world.flow_recvs(0).size();
+  (void)perf::measure(world, body);
+  EXPECT_EQ(world.trace(0).size(), first_spans);
+  EXPECT_EQ(world.flow_sends(0).size(), first_sends);
+  EXPECT_EQ(world.flow_recvs(0).size(), first_recvs);
+  for (const TraceEvent& e : world.trace(0)) {
+    EXPECT_LE(e.t1, world.max_sim_time() + 1e-12);
+  }
 }
 
 }  // namespace
