@@ -1,0 +1,134 @@
+// Self-performance benchmark: REAL wall-clock of this runtime executing a
+// Tesseract [2,2,2] Transformer layer step (forward + backward on 8 ranks),
+// as opposed to the simulated-cluster times the table benches report.
+//
+// This is the harness behind docs/performance.md: it exercises the zero-copy
+// mailbox fast path, the pooled message buffers, and the blocked GEMM
+// micro-kernel together, and emits BENCH_runtime_selfperf.json so CI can
+// archive the numbers per commit.
+//
+//   $ ./bench_runtime_selfperf
+#include <chrono>
+#include <cstdio>
+
+#include "comm/communicator.hpp"
+#include "nn/transformer.hpp"
+#include "parallel/dist.hpp"
+#include "parallel/tesseract_transformer.hpp"
+#include "perf/export.hpp"
+#include "tensor/init.hpp"
+
+using namespace tsr;
+
+namespace {
+
+// Large enough that GEMM dominates and the pool reaches steady state, small
+// enough that the whole bench stays in the seconds range on one core.
+constexpr std::int64_t kBatch = 8, kSeq = 32, kHidden = 256, kHeads = 8;
+constexpr int kWarmup = 2;
+constexpr int kIters = 10;
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  Rng data_rng(1);
+  Tensor x = random_normal({kBatch, kSeq, kHidden}, data_rng);
+  Tensor dy = random_normal({kBatch, kSeq, kHidden}, data_rng);
+
+  // Serial single-rank reference: same layer, no communication.
+  double serial_ms = 0.0;
+  {
+    Rng wrng(99);
+    nn::TransformerLayer layer(kHidden, kHeads, wrng);
+    for (int i = 0; i < kWarmup; ++i) {
+      (void)layer.forward(x);
+      (void)layer.backward(dy);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      (void)layer.forward(x);
+      (void)layer.backward(dy);
+    }
+    serial_ms = ms_since(t0) / kIters;
+  }
+
+  // Tesseract [2,2,2] on the simulated 8-rank MeluXina node. All ranks run
+  // cooperatively in one OS thread (fiber backend), so rank 0's wall clock
+  // between the two barriers spans the COMPLETE 8-rank step.
+  double tess_ms = 0.0;
+  comm::World world(8, topo::MachineSpec::meluxina());
+  world.run([&](comm::Communicator& c) {
+    par::TesseractContext ctx(c, 2, 2);
+    Rng wrng(99);
+    par::TesseractTransformerLayer layer(ctx, kHidden, kHeads, wrng);
+    Tensor xl = par::distribute_activation(ctx.comms(), x);
+    Tensor dyl = par::distribute_activation(ctx.comms(), dy);
+    for (int i = 0; i < kWarmup; ++i) {
+      (void)layer.forward(xl);
+      (void)layer.backward(dyl);
+    }
+    c.barrier();
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kIters; ++i) {
+      (void)layer.forward(xl);
+      (void)layer.backward(dyl);
+    }
+    c.barrier();
+    if (c.rank() == 0) tess_ms = ms_since(t0) / kIters;
+  });
+
+  std::int64_t pool_allocs = 0, pool_reuses = 0;
+  for (int r = 0; r < world.size(); ++r) {
+    pool_allocs += world.pool(r).allocations();
+    pool_reuses += world.pool(r).reuses();
+  }
+  const comm::CommStats stats = world.total_stats();
+
+  std::printf("Runtime self-performance (REAL wall-clock, not simulated)\n");
+  std::printf("layer: b=%lld s=%lld h=%lld heads=%lld, %d timed iters\n\n",
+              static_cast<long long>(kBatch), static_cast<long long>(kSeq),
+              static_cast<long long>(kHidden), static_cast<long long>(kHeads),
+              kIters);
+  std::printf("%-28s %12.3f ms/step\n", "serial layer (1 rank)", serial_ms);
+  std::printf("%-28s %12.3f ms/step\n", "Tesseract [2,2,2] (8 ranks)",
+              tess_ms);
+  std::printf("\nmailbox buffer pool: %lld allocations, %lld reuses "
+              "(%.1f%% of buffer acquisitions recycled)\n",
+              static_cast<long long>(pool_allocs),
+              static_cast<long long>(pool_reuses),
+              100.0 * static_cast<double>(pool_reuses) /
+                  static_cast<double>(pool_allocs + pool_reuses));
+  std::printf("wire traffic: %lld msgs, %lld bytes (simulated accounting "
+              "unchanged by the fast path)\n",
+              static_cast<long long>(stats.msgs_sent),
+              static_cast<long long>(stats.bytes_sent));
+
+  perf::BenchReport report("runtime_selfperf");
+  obs::JsonValue& serial = report.add_case("serial_layer");
+  serial["wall_ms_per_step"] = serial_ms;
+  serial["iters"] = static_cast<std::int64_t>(kIters);
+  obs::JsonValue& tess = report.add_case("tesseract_2x2x2");
+  tess["wall_ms_per_step"] = tess_ms;
+  tess["iters"] = static_cast<std::int64_t>(kIters);
+  tess["ranks"] = static_cast<std::int64_t>(world.size());
+  tess["pool_allocations"] = pool_allocs;
+  tess["pool_reuses"] = pool_reuses;
+  tess["msgs_sent"] = stats.msgs_sent;
+  tess["bytes_sent"] = stats.bytes_sent;
+  tess["sim_time_s"] = world.max_sim_time();
+
+  const char* out = "BENCH_runtime_selfperf.json";
+  if (report.write(out)) {
+    std::printf("\nwrote %s\n", out);
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", out);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+#include "comm/buffer_pool.hpp"
+
+namespace tsr::comm {
+
+std::shared_ptr<std::vector<float>> BufferPool::acquire() {
+  if (!free_.empty()) {
+    std::shared_ptr<std::vector<float>> buf = std::move(free_.back());
+    free_.pop_back();
+    buf->clear();
+    ++reuses_;
+    return buf;
+  }
+  ++allocations_;
+  return std::make_shared<std::vector<float>>();
+}
+
+void BufferPool::recycle(std::shared_ptr<std::vector<float>> buf) {
+  // use_count() == 1 means nobody else can still read the payload — e.g. a
+  // broadcast buffer shared between two children is pooled only by whichever
+  // receiver drops the last reference.
+  if (buf != nullptr && buf.use_count() == 1 && free_.size() < kMaxFree) {
+    free_.push_back(std::move(buf));
+  }
+}
+
+}  // namespace tsr::comm

@@ -61,6 +61,35 @@ void apply_reduce(ReduceOp op, float* dst, const float* src, std::int64_t n) {
   }
 }
 
+namespace {
+
+// Zero-copy twin of apply_reduce(op, dst = local, src = acc): computes
+// local[i] op acc[i] with the LOCAL operand first — the exact operand order
+// of the in-place form — but stores the result into `acc` (the circulating
+// message buffer) so ring collectives reduce without touching caller memory.
+// Bitwise identical to the in-place form at every hop.
+void apply_reduce_into(ReduceOp op, float* acc, const float* local,
+                       std::int64_t n) {
+  if (op == ReduceOp::Sum) {
+    for (std::int64_t i = 0; i < n; ++i) acc[i] = local[i] + acc[i];
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) acc[i] = std::max(local[i], acc[i]);
+  }
+}
+
+// Final reduce-scatter hop: out[i] = local[i] op acc[i], writing the caller's
+// output chunk directly (same operand order again).
+void apply_reduce_out(ReduceOp op, float* out, const float* local,
+                      const float* acc, std::int64_t n) {
+  if (op == ReduceOp::Sum) {
+    for (std::int64_t i = 0; i < n; ++i) out[i] = local[i] + acc[i];
+  } else {
+    for (std::int64_t i = 0; i < n; ++i) out[i] = std::max(local[i], acc[i]);
+  }
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // World
 // ---------------------------------------------------------------------------
@@ -84,6 +113,7 @@ World::World(int nranks, topo::MachineSpec spec)
   for (int r = 0; r < nranks; ++r) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
   }
+  pools_.resize(static_cast<std::size_t>(nranks));
   clocks_.resize(static_cast<std::size_t>(nranks));
   stats_.resize(static_cast<std::size_t>(nranks));
   traces_.resize(static_cast<std::size_t>(nranks));
@@ -301,15 +331,24 @@ std::uint64_t Communicator::user_tag(std::uint64_t tag) const {
 
 void Communicator::send_msg(int dst_grank, std::uint64_t tag, const float* data,
                             std::int64_t count, std::int64_t wire_bytes) {
+  std::shared_ptr<std::vector<float>> payload;
+  if (data != nullptr) {
+    payload = world_->pool(world_rank()).acquire();
+    payload->assign(data, data + count);
+  }
+  send_msg(dst_grank, tag, std::move(payload), wire_bytes);
+}
+
+void Communicator::send_msg(int dst_grank, std::uint64_t tag,
+                            std::shared_ptr<std::vector<float>> payload,
+                            std::int64_t wire_bytes) {
   const int src_w = world_rank();
   const int dst_w = world_rank_of(dst_grank);
   Message m;
   m.src = src_w;
   m.tag = tag;
   m.wire_bytes = wire_bytes;
-  if (data != nullptr) {
-    m.payload = std::make_shared<std::vector<float>>(data, data + count);
-  }
+  m.payload = std::move(payload);
   // Timing model: the sender's NIC is occupied for bytes * beta
   // (serialization), so back-to-back sends queue behind each other; the
   // message then lands alpha later. For a single message this reduces to
@@ -330,6 +369,10 @@ void Communicator::send_msg(int dst_grank, std::uint64_t tag, const float* data,
                         link == topo::LinkType::InterNode});
   }
   world_->mailbox(dst_w).push(std::move(m));
+}
+
+void Communicator::recycle(std::shared_ptr<std::vector<float>> payload) {
+  world_->pool(world_rank()).recycle(std::move(payload));
 }
 
 Message Communicator::recv_msg(int src_grank, std::uint64_t tag) {
@@ -420,9 +463,11 @@ void Communicator::sendrecv(int dst, std::span<const float> send_data, int src,
   TraceSpan span(this, "sendrecv", bytes);
   stats().record_collective("sendrecv", bytes);
   send(dst, tag, send_data);
-  std::vector<float> r = recv(src, tag);
-  check(r.size() == recv_data.size(), "sendrecv: size mismatch");
-  std::copy(r.begin(), r.end(), recv_data.begin());
+  Message m = recv_msg(src, user_tag(tag));
+  check(m.payload != nullptr && m.payload->size() == recv_data.size(),
+        "sendrecv: size mismatch");
+  std::copy(m.payload->begin(), m.payload->end(), recv_data.begin());
+  recycle(std::move(m.payload));
 }
 
 // ---- Collectives ----------------------------------------------------------
@@ -437,7 +482,8 @@ void Communicator::barrier() {
   for (int dist = 1; dist < g; dist <<= 1) {
     static const float dummy = 0.0f;
     send_msg((grank_ + dist) % g, tag, &dummy, 0, 0);
-    (void)recv_msg((grank_ - dist + g) % g, tag);
+    Message m = recv_msg((grank_ - dist + g) % g, tag);
+    recycle(std::move(m.payload));
   }
 }
 
@@ -462,47 +508,66 @@ void Communicator::broadcast_impl(float* data, std::int64_t count,
                   : chunk_size(total_bytes / 4, g, c) * 4 +
                         (c == 0 ? total_bytes % 4 : 0);
     };
-    // Phase 1 — scatter: rank c receives chunk c.
+    // Phase 1 — scatter: rank c receives chunk c. The received buffer stays
+    // live as this rank's first ring payload ("carry").
+    std::shared_ptr<std::vector<float>> carry;
     if (grank_ == root) {
       for (int c = 0; c < g; ++c) {
         if (c == root) continue;
         send_msg(c, tag, real ? data + coffset(c) : nullptr, ccount(c),
                  cbytes(c));
       }
+      if (real) {
+        carry = world_->pool(world_rank()).acquire();
+        carry->assign(data + coffset(grank_),
+                      data + coffset(grank_) + ccount(grank_));
+      }
     } else {
       Message m = recv_msg(root, tag);
-      if (real && m.payload != nullptr) {
-        std::copy(m.payload->begin(), m.payload->end(), data + coffset(grank_));
+      carry = std::move(m.payload);
+      if (real && carry != nullptr) {
+        std::copy(carry->begin(), carry->end(), data + coffset(grank_));
       }
     }
-    // Phase 2 — ring all-gather of the chunks.
+    // Phase 2 — ring all-gather of the chunks, zero-copy: the chunk received
+    // at step s is exactly the chunk sent at step s+1, so each message buffer
+    // is copied once into `data` and then forwarded as-is.
     const int right = (grank_ + 1) % g;
     const int left = (grank_ - 1 + g) % g;
     for (int s = 0; s < g - 1; ++s) {
-      const int send_c = (grank_ - s + 2 * g) % g;
       const int recv_c = (grank_ - s - 1 + 2 * g) % g;
-      send_msg(right, tag, real ? data + coffset(send_c) : nullptr,
-               ccount(send_c), cbytes(send_c));
+      send_msg(right, tag, std::move(carry), cbytes((grank_ - s + 2 * g) % g));
       Message m = recv_msg(left, tag);
-      if (real && m.payload != nullptr) {
-        std::copy(m.payload->begin(), m.payload->end(), data + coffset(recv_c));
+      carry = std::move(m.payload);
+      if (real && carry != nullptr) {
+        std::copy(carry->begin(), carry->end(), data + coffset(recv_c));
       }
     }
+    recycle(std::move(carry));
     return;
   }
 
   const int vr = (grank_ - root + g) % g;  // relative rank; root -> 0
   auto abs_rank = [&](int relative) { return (relative + root) % g; };
 
+  // One payload buffer serves the whole subtree: the root fills it once and
+  // every forward to a child shares it (receivers only read), so the tree
+  // moves the data with a single copy per rank instead of one per edge.
+  std::shared_ptr<std::vector<float>> buf;
+  if (data != nullptr && vr == 0) {
+    buf = world_->pool(world_rank()).acquire();
+    buf->assign(data, data + count);
+  }
   // Receive phase: wait for the parent in the binomial tree.
   int mask = 1;
   while (mask < g) {
     if (vr & mask) {
       Message m = recv_msg(abs_rank(vr - mask), tag);
-      if (data != nullptr && m.payload != nullptr) {
-        check(static_cast<std::int64_t>(m.payload->size()) == count,
+      buf = std::move(m.payload);
+      if (data != nullptr && buf != nullptr) {
+        check(static_cast<std::int64_t>(buf->size()) == count,
               "broadcast: payload size mismatch");
-        std::copy(m.payload->begin(), m.payload->end(), data);
+        std::copy(buf->begin(), buf->end(), data);
       }
       break;
     }
@@ -512,11 +577,11 @@ void Communicator::broadcast_impl(float* data, std::int64_t count,
   mask >>= 1;
   while (mask > 0) {
     if (vr + mask < g) {
-      send_msg(abs_rank(vr + mask), tag, data, data != nullptr ? count : 0,
-               total_bytes);
+      send_msg(abs_rank(vr + mask), tag, buf, total_bytes);
     }
     mask >>= 1;
   }
+  recycle(std::move(buf));
 }
 
 void Communicator::broadcast(std::span<float> data, int root) {
@@ -548,30 +613,46 @@ void Communicator::reduce_impl(float* data, std::int64_t count,
                   : chunk_size(total_bytes / 4, g, c) * 4 +
                         (c == 0 ? total_bytes % 4 : 0);
     };
+    // Ring reduce-scatter, zero-copy: partial sums accumulate in the
+    // circulating message buffers (operand order per hop matches the
+    // in-place form bit-for-bit), so non-root `data` is never written.
     const int right = (grank_ + 1) % g;
     const int left = (grank_ - 1 + g) % g;
+    std::shared_ptr<std::vector<float>> carry;
+    if (real) {
+      const int first_c = (grank_ - 1 + g) % g;
+      carry = world_->pool(world_rank()).acquire();
+      carry->assign(data + coffset(first_c),
+                    data + coffset(first_c) + ccount(first_c));
+    }
     for (int s = 0; s < g - 1; ++s) {
       const int send_c = (grank_ - s - 1 + 2 * g) % g;
       const int recv_c = (grank_ - s - 2 + 2 * g) % g;
-      send_msg(right, tag, real ? data + coffset(send_c) : nullptr,
-               ccount(send_c), cbytes(send_c));
+      send_msg(right, tag, std::move(carry), cbytes(send_c));
       Message m = recv_msg(left, tag);
-      if (real && m.payload != nullptr) {
-        apply_reduce(op, data + coffset(recv_c), m.payload->data(),
-                     ccount(recv_c));
+      carry = std::move(m.payload);
+      if (real && carry != nullptr) {
+        apply_reduce_into(op, carry->data(), data + coffset(recv_c),
+                          ccount(recv_c));
       }
     }
+    // Each rank now owns the fully reduced chunk grank_ in `carry`; ship the
+    // buffers to the root as-is.
     if (grank_ == root) {
+      if (real && carry != nullptr) {
+        std::copy(carry->begin(), carry->end(), data + coffset(root));
+      }
+      recycle(std::move(carry));
       for (int c = 0; c < g; ++c) {
         if (c == root) continue;
         Message m = recv_msg(c, tag);
         if (real && m.payload != nullptr) {
           std::copy(m.payload->begin(), m.payload->end(), data + coffset(c));
         }
+        recycle(std::move(m.payload));
       }
     } else {
-      send_msg(root, tag, real ? data + coffset(grank_) : nullptr,
-               ccount(grank_), cbytes(grank_));
+      send_msg(root, tag, std::move(carry), cbytes(grank_));
     }
     return;
   }
@@ -591,6 +672,7 @@ void Communicator::reduce_impl(float* data, std::int64_t count,
                 "reduce: payload size mismatch");
           apply_reduce(op, data, m.payload->data(), count);
         }
+        recycle(std::move(m.payload));
       }
     } else {
       send_msg(abs_rank(vr & ~mask), tag, data, data != nullptr ? count : 0,
@@ -632,31 +714,50 @@ void Communicator::all_reduce_impl(float* data, std::int64_t count,
                       (c == 0 ? total_bytes % 4 : 0);
   };
 
+  // Zero-copy ring: in both phases the chunk received at step s is exactly
+  // the chunk sent at step s+1, so one "carry" buffer per rank circulates —
+  // partial sums are computed into the incoming buffer (per-hop operand
+  // order identical to the in-place form, hence bit-identical results) and
+  // the buffer itself is forwarded instead of being copied into a new
+  // message.
+  //
   // Phase 1 — ring reduce-scatter: after step s, the chunk received is
   // (rank - s - 1) mod g; rank r ends owning the fully-reduced chunk (r+1)%g.
+  std::shared_ptr<std::vector<float>> carry;
+  if (real) {
+    carry = world_->pool(world_rank()).acquire();
+    carry->assign(data + coffset(grank_),
+                  data + coffset(grank_) + ccount(grank_));
+  }
   for (int s = 0; s < g - 1; ++s) {
     const int send_c = (grank_ - s + 2 * g) % g;
     const int recv_c = (grank_ - s - 1 + 2 * g) % g;
-    send_msg(right, tag, real ? data + coffset(send_c) : nullptr, ccount(send_c),
-             cbytes(send_c));
+    send_msg(right, tag, std::move(carry), cbytes(send_c));
     Message m = recv_msg(left, tag);
-    if (real && m.payload != nullptr) {
-      apply_reduce(op, data + coffset(recv_c), m.payload->data(), ccount(recv_c));
+    carry = std::move(m.payload);
+    if (real && carry != nullptr) {
+      apply_reduce_into(op, carry->data(), data + coffset(recv_c),
+                        ccount(recv_c));
     }
+  }
+  // The owned chunk exists only in `carry`; land it in `data` before phase 2.
+  if (real && carry != nullptr) {
+    std::copy(carry->begin(), carry->end(), data + coffset((grank_ + 1) % g));
   }
   // Phase 2 — ring all-gather of the owned chunks.
   for (int s = 0; s < g - 1; ++s) {
     const int send_c = (grank_ + 1 - s + 2 * g) % g;
     const int recv_c = (grank_ - s + 2 * g) % g;
-    send_msg(right, tag, real ? data + coffset(send_c) : nullptr, ccount(send_c),
-             cbytes(send_c));
+    send_msg(right, tag, std::move(carry), cbytes(send_c));
     Message m = recv_msg(left, tag);
-    if (real && m.payload != nullptr) {
-      check(static_cast<std::int64_t>(m.payload->size()) == ccount(recv_c),
+    carry = std::move(m.payload);
+    if (real && carry != nullptr) {
+      check(static_cast<std::int64_t>(carry->size()) == ccount(recv_c),
             "all_reduce: chunk size mismatch");
-      std::copy(m.payload->begin(), m.payload->end(), data + coffset(recv_c));
+      std::copy(carry->begin(), carry->end(), data + coffset(recv_c));
     }
   }
+  recycle(std::move(carry));
 }
 
 void Communicator::all_reduce(std::span<float> data, ReduceOp op) {
@@ -683,16 +784,23 @@ void Communicator::all_gather_impl(const float* local, float* out,
   const std::uint64_t tag = next_tag();
   const int right = (grank_ + 1) % g;
   const int left = (grank_ - 1 + g) % g;
+  // Zero-copy ring: each received chunk is copied once into `out` and the
+  // buffer itself is forwarded at the next step (it is the next send chunk).
+  std::shared_ptr<std::vector<float>> carry;
+  if (real) {
+    carry = world_->pool(world_rank()).acquire();
+    carry->assign(local, local + chunk_count);
+  }
   for (int s = 0; s < g - 1; ++s) {
-    const int send_c = (grank_ - s + 2 * g) % g;
     const int recv_c = (grank_ - s - 1 + 2 * g) % g;
-    send_msg(right, tag, real ? out + send_c * chunk_count : nullptr,
-             real ? chunk_count : 0, chunk_bytes);
+    send_msg(right, tag, std::move(carry), chunk_bytes);
     Message m = recv_msg(left, tag);
-    if (real && m.payload != nullptr) {
-      std::copy(m.payload->begin(), m.payload->end(), out + recv_c * chunk_count);
+    carry = std::move(m.payload);
+    if (real && carry != nullptr) {
+      std::copy(carry->begin(), carry->end(), out + recv_c * chunk_count);
     }
   }
+  recycle(std::move(carry));
 }
 
 void Communicator::all_gather(std::span<const float> local,
@@ -708,51 +816,77 @@ void Communicator::phantom_all_gather(std::int64_t bytes_per_rank) {
   all_gather_impl(nullptr, nullptr, 0, bytes_per_rank);
 }
 
-void Communicator::reduce_scatter_impl(float* data, float* out,
-                                       std::int64_t chunk_count,
-                                       std::int64_t chunk_bytes, ReduceOp op) {
-  TraceSpan span(this, "reduce_scatter", chunk_bytes * size());
+void Communicator::reduce_scatter_impl(const float* data, float* out,
+                                       std::int64_t count,
+                                       std::int64_t total_bytes, ReduceOp op) {
+  TraceSpan span(this, "reduce_scatter", total_bytes);
   const int g = size();
-  stats().record_collective("reduce_scatter", chunk_bytes * g);
+  stats().record_collective("reduce_scatter", total_bytes);
   const bool real = data != nullptr;
   if (g == 1) {
     if (real) {
-      std::memcpy(out, data, static_cast<std::size_t>(chunk_count) * sizeof(float));
+      std::memcpy(out, data, static_cast<std::size_t>(count) * sizeof(float));
     }
     return;
   }
   const std::uint64_t tag = next_tag();
   const int right = (grank_ + 1) % g;
   const int left = (grank_ - 1 + g) % g;
-  // Ring reduce-scatter shifted so rank r ends owning chunk r.
+  auto ccount = [&](int c) { return real ? chunk_size(count, g, c) : 0; };
+  auto coffset = [&](int c) { return real ? chunk_offset(count, g, c) : 0; };
+  // Same phantom chunk-size convention as all_reduce_impl: sizes derive from
+  // the float-element split, remainder bytes ride on chunk 0, so a phantom
+  // replay charges exactly total_bytes — including the remainder the old
+  // total_bytes/size() formula dropped.
+  auto cbytes = [&](int c) {
+    return real ? ccount(c) * static_cast<std::int64_t>(sizeof(float))
+                : chunk_size(total_bytes / 4, g, c) * 4 +
+                      (c == 0 ? total_bytes % 4 : 0);
+  };
+  // Zero-copy ring shifted so rank r ends owning chunk r: partial sums
+  // accumulate in the circulating buffers (per-hop operand order matches the
+  // old in-place form bit-for-bit) and the final hop writes `out` directly,
+  // so the caller's `data` is never modified.
+  std::shared_ptr<std::vector<float>> carry;
+  if (real) {
+    const int first_c = (grank_ - 1 + g) % g;
+    carry = world_->pool(world_rank()).acquire();
+    carry->assign(data + coffset(first_c),
+                  data + coffset(first_c) + ccount(first_c));
+  }
   for (int s = 0; s < g - 1; ++s) {
     const int send_c = (grank_ - s - 1 + 2 * g) % g;
     const int recv_c = (grank_ - s - 2 + 2 * g) % g;
-    send_msg(right, tag, real ? data + send_c * chunk_count : nullptr,
-             real ? chunk_count : 0, chunk_bytes);
+    send_msg(right, tag, std::move(carry), cbytes(send_c));
     Message m = recv_msg(left, tag);
-    if (real && m.payload != nullptr) {
-      apply_reduce(op, data + recv_c * chunk_count, m.payload->data(),
-                   chunk_count);
+    carry = std::move(m.payload);
+    if (real && carry != nullptr) {
+      if (s == g - 2) {
+        // Last hop: recv_c == grank_; reduce straight into the output chunk.
+        apply_reduce_out(op, out, data + coffset(recv_c), carry->data(),
+                         ccount(recv_c));
+      } else {
+        apply_reduce_into(op, carry->data(), data + coffset(recv_c),
+                          ccount(recv_c));
+      }
     }
   }
-  if (real) {
-    std::memcpy(out, data + grank_ * chunk_count,
-                static_cast<std::size_t>(chunk_count) * sizeof(float));
-  }
+  recycle(std::move(carry));
 }
 
-void Communicator::reduce_scatter(std::span<float> data, std::span<float> out,
-                                  ReduceOp op) {
-  check(data.size() == out.size() * static_cast<std::size_t>(size()),
-        "reduce_scatter: input must be size() * output chunk");
+void Communicator::reduce_scatter(std::span<const float> data,
+                                  std::span<float> out, ReduceOp op) {
+  check(static_cast<std::int64_t>(out.size()) ==
+            chunk_size(static_cast<std::int64_t>(data.size()), size(), grank_),
+        "reduce_scatter: output must be this rank's chunk of the input");
   reduce_scatter_impl(data.data(), out.data(),
-                      static_cast<std::int64_t>(out.size()),
-                      static_cast<std::int64_t>(out.size() * sizeof(float)), op);
+                      static_cast<std::int64_t>(data.size()),
+                      static_cast<std::int64_t>(data.size() * sizeof(float)),
+                      op);
 }
 
 void Communicator::phantom_reduce_scatter(std::int64_t total_bytes) {
-  reduce_scatter_impl(nullptr, nullptr, 0, total_bytes / size(), ReduceOp::Sum);
+  reduce_scatter_impl(nullptr, nullptr, 0, total_bytes, ReduceOp::Sum);
 }
 
 void Communicator::gather(std::span<const float> local, std::span<float> out,
@@ -777,6 +911,7 @@ void Communicator::gather(std::span<const float> local, std::span<float> out,
       std::copy(m.payload->begin(), m.payload->end(),
                 out.begin() + static_cast<std::ptrdiff_t>(r) *
                                   static_cast<std::ptrdiff_t>(local.size()));
+      recycle(std::move(m.payload));
     }
   } else {
     send_msg(root, tag, local.data(), static_cast<std::int64_t>(local.size()),
@@ -811,6 +946,7 @@ void Communicator::scatter(std::span<const float> in, std::span<float> local,
     check(m.payload != nullptr && m.payload->size() == local.size(),
           "scatter: chunk size mismatch");
     std::copy(m.payload->begin(), m.payload->end(), local.begin());
+    recycle(std::move(m.payload));
   }
 }
 
@@ -841,6 +977,7 @@ void Communicator::all_to_all(std::span<const float> in, std::span<float> out) {
     std::copy(m.payload->begin(), m.payload->end(),
               out.begin() + static_cast<std::ptrdiff_t>(src) *
                                 static_cast<std::ptrdiff_t>(chunk));
+    recycle(std::move(m.payload));
   }
 }
 

@@ -24,6 +24,7 @@
 
 #include <atomic>
 
+#include "comm/buffer_pool.hpp"
 #include "comm/mailbox.hpp"
 #include "comm/stats.hpp"
 #include "obs/metrics.hpp"
@@ -86,6 +87,8 @@ class World {
   const topo::MachineSpec& spec() const { return spec_; }
 
   Mailbox& mailbox(int rank) { return *mailboxes_[static_cast<std::size_t>(rank)]; }
+  /// Rank-private payload buffer pool; only rank's own thread may touch it.
+  BufferPool& pool(int rank) { return pools_[static_cast<std::size_t>(rank)]; }
   rt::SimClock& clock(int rank) { return clocks_[static_cast<std::size_t>(rank)]; }
   const rt::SimClock& clock(int rank) const {
     return clocks_[static_cast<std::size_t>(rank)];
@@ -167,6 +170,7 @@ class World {
   int nranks_;
   topo::MachineSpec spec_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<BufferPool> pools_;
   std::vector<rt::SimClock> clocks_;
   std::vector<CommStats> stats_;
   bool tracing_ = false;
@@ -230,15 +234,19 @@ class Communicator {
 
   void barrier();
   void broadcast(std::span<float> data, int root);
-  /// Reduces into `root`'s buffer. Non-root buffers are clobbered with
-  /// partial sums (documented MPI_IN_PLACE-style behaviour).
+  /// Reduces into `root`'s buffer. Non-root buffers are left in an
+  /// unspecified state (MPI_IN_PLACE-style: the latency-optimal tree path
+  /// clobbers them with partial sums, the bandwidth-optimal pipelined path
+  /// leaves them untouched).
   void reduce(std::span<float> data, int root, ReduceOp op = ReduceOp::Sum);
   void all_reduce(std::span<float> data, ReduceOp op = ReduceOp::Sum);
   /// Gathers equally-sized contributions: out.size() == size() * local.size().
   void all_gather(std::span<const float> local, std::span<float> out);
-  /// data.size() == size() * out.size(); rank r receives reduced chunk r.
-  /// `data` is clobbered.
-  void reduce_scatter(std::span<float> data, std::span<float> out,
+  /// Group rank r receives reduced chunk r. Chunks may be ragged: chunk r is
+  /// chunk_size(data.size(), size(), r) elements (remainder to low ranks), so
+  /// out.size() must equal the calling rank's chunk. The input is preserved
+  /// (reduction happens in the circulating message buffers, never in `data`).
+  void reduce_scatter(std::span<const float> data, std::span<float> out,
                       ReduceOp op = ReduceOp::Sum);
   void gather(std::span<const float> local, std::span<float> out, int root);
   void scatter(std::span<const float> in, std::span<float> local, int root);
@@ -299,10 +307,17 @@ class Communicator {
   };
 
   // Wire primitives. data may be null (phantom); count is the float count
-  // carried (0 for phantom), wire_bytes the modeled size.
+  // carried (0 for phantom), wire_bytes the modeled size. The copying form
+  // fills a pooled buffer; the payload form moves an existing buffer into
+  // the message (zero copy — how ring collectives forward chunks).
   void send_msg(int dst_grank, std::uint64_t tag, const float* data,
                 std::int64_t count, std::int64_t wire_bytes);
+  void send_msg(int dst_grank, std::uint64_t tag,
+                std::shared_ptr<std::vector<float>> payload,
+                std::int64_t wire_bytes);
   Message recv_msg(int src_grank, std::uint64_t tag);
+  // Returns a consumed payload to this rank's buffer pool.
+  void recycle(std::shared_ptr<std::vector<float>> payload);
 
   // Shared implementations of the real/phantom twins. For real calls,
   // data != nullptr and wire bytes derive from counts; for phantom calls,
@@ -315,8 +330,8 @@ class Communicator {
                        std::int64_t total_bytes, ReduceOp op);
   void all_gather_impl(const float* local, float* out, std::int64_t chunk_count,
                        std::int64_t chunk_bytes);
-  void reduce_scatter_impl(float* data, float* out, std::int64_t chunk_count,
-                           std::int64_t chunk_bytes, ReduceOp op);
+  void reduce_scatter_impl(const float* data, float* out, std::int64_t count,
+                           std::int64_t total_bytes, ReduceOp op);
 
   World* world_ = nullptr;
   std::shared_ptr<const std::vector<int>> group_;

@@ -4,45 +4,172 @@
 
 namespace tsr::comm {
 
+namespace {
+constexpr std::size_t kSlabNodes = 64;
+}
+
+Mailbox::~Mailbox() {
+  // Drain queued messages back into the free list so their payloads release;
+  // the slabs then own every node and free them wholesale.
+  for (Queue& q : queues_) {
+    for (Node* n = q.head; n != nullptr;) {
+      Node* next = n->next;
+      n->msg = Message{};
+      n = next;
+    }
+  }
+}
+
+Mailbox::Node* Mailbox::alloc_node() {
+  if (free_nodes_ != nullptr) {
+    Node* n = free_nodes_;
+    free_nodes_ = n->next;
+    n->next = nullptr;
+    return n;
+  }
+  if (slabs_.empty() || slab_used_ == kSlabNodes) {
+    slabs_.push_back(std::make_unique<Node[]>(kSlabNodes));
+    slab_used_ = 0;
+  }
+  return &slabs_.back()[slab_used_++];
+}
+
+void Mailbox::free_node(Node* n) {
+  n->msg = Message{};  // drop the payload reference now, not at reuse time
+  n->next = free_nodes_;
+  free_nodes_ = n;
+}
+
+Mailbox::Queue* Mailbox::find_queue(int src, std::uint64_t tag) {
+  for (Queue& q : queues_) {
+    if (q.live && q.src == src && q.tag == tag) return &q;
+  }
+  return nullptr;
+}
+
+Mailbox::Queue* Mailbox::find_or_add_queue(int src, std::uint64_t tag) {
+  Queue* dead = nullptr;
+  for (Queue& q : queues_) {
+    if (q.live) {
+      if (q.src == src && q.tag == tag) return &q;
+    } else if (dead == nullptr) {
+      dead = &q;
+    }
+  }
+  if (dead == nullptr) {
+    queues_.emplace_back();
+    dead = &queues_.back();
+  }
+  dead->src = src;
+  dead->tag = tag;
+  dead->head = dead->tail = nullptr;
+  dead->live = true;
+  return dead;
+}
+
 void Mailbox::push(Message msg) {
+  rt::FiberWaiter to_wake;
+  bool notify = false;
   {
     std::lock_guard lock(mu_);
-    queues_[{msg.src, msg.tag}].push_back(std::move(msg));
+    Queue* q = find_or_add_queue(msg.src, msg.tag);
+    Node* n = alloc_node();
+    n->msg = std::move(msg);
+    if (q->tail != nullptr) {
+      q->tail->next = n;
+    } else {
+      q->head = n;
+    }
+    q->tail = n;
+    if (has_waiter_ && waiter_src_ == q->src && waiter_tag_ == q->tag) {
+      has_waiter_ = false;
+      if (fiber_waiter_.armed()) {
+        to_wake = fiber_waiter_;
+        fiber_waiter_.clear();
+      } else {
+        notify = true;
+      }
+    }
   }
-  cv_.notify_all();
+  if (to_wake.armed()) {
+    to_wake.sched->wake(to_wake.rank);
+  } else if (notify) {
+    cv_.notify_one();
+  }
 }
 
 Message Mailbox::pop(int src, std::uint64_t tag) {
   std::unique_lock lock(mu_);
-  const Key key{src, tag};
-  cv_.wait(lock, [&] {
-    if (poisoned_) return true;
-    auto it = queues_.find(key);
-    return it != queues_.end() && !it->second.empty();
-  });
-  if (poisoned_) {
-    throw std::runtime_error("Mailbox poisoned: " + poison_reason_);
+  for (;;) {
+    if (poisoned_) {
+      throw std::runtime_error("Mailbox poisoned: " + poison_reason_);
+    }
+    if (Queue* q = find_queue(src, tag)) {
+      Node* n = q->head;
+      q->head = n->next;
+      if (q->head == nullptr) {
+        q->tail = nullptr;
+        q->live = false;  // slot stays for reuse
+      }
+      Message msg = std::move(n->msg);
+      free_node(n);
+      return msg;
+    }
+    has_waiter_ = true;
+    waiter_src_ = src;
+    waiter_tag_ = tag;
+    if (rt::FiberScheduler* sched = rt::current_scheduler()) {
+      fiber_waiter_.sched = sched;
+      fiber_waiter_.rank = sched->current_rank();
+      // All fibers share this thread, so nobody can touch the mailbox while
+      // we still hold the lock; release it across the suspension.
+      lock.unlock();
+      sched->block_current();
+      lock.lock();
+      // Wakeups may be cancellations: an all-ranks-blocked cycle means no
+      // matching message can ever arrive.
+      if (sched->cancelled() && !poisoned_ && find_queue(src, tag) == nullptr) {
+        has_waiter_ = false;
+        fiber_waiter_.clear();
+        throw std::runtime_error(
+            "Mailbox poisoned: deadlock — every rank is blocked in a "
+            "receive with no message in flight");
+      }
+      // A push that matched us disarmed the waiter; clear any stale state
+      // from e.g. a poison wake.
+      has_waiter_ = false;
+      fiber_waiter_.clear();
+    } else {
+      cv_.wait(lock, [&] {
+        return poisoned_ || find_queue(src, tag) != nullptr;
+      });
+      has_waiter_ = false;
+    }
   }
-  auto it = queues_.find(key);
-  Message msg = std::move(it->second.front());
-  it->second.pop_front();
-  if (it->second.empty()) queues_.erase(it);
-  return msg;
 }
 
 void Mailbox::poison(const std::string& why) {
+  rt::FiberWaiter to_wake;
   {
     std::lock_guard lock(mu_);
     poisoned_ = true;
     poison_reason_ = why;
+    if (fiber_waiter_.armed()) {
+      to_wake = fiber_waiter_;
+      fiber_waiter_.clear();
+      has_waiter_ = false;
+    }
   }
+  if (to_wake.armed()) to_wake.sched->wake(to_wake.rank);
   cv_.notify_all();
 }
 
 std::size_t Mailbox::pending() const {
   std::lock_guard lock(mu_);
   std::size_t n = 0;
-  for (const auto& [key, q] : queues_) n += q.size();
+  for (const Queue& q : queues_) {
+    for (const Node* node = q.head; node != nullptr; node = node->next) ++n;
+  }
   return n;
 }
 

@@ -7,16 +7,26 @@
 // "phantom" (no payload) that exists only to move the simulated clock and
 // the byte counters, which is how the benchmark harness replays paper-scale
 // schedules without paper-scale memory.
+//
+// The mailbox sits on the per-message critical path of every collective, so
+// its storage is built to reach a zero-allocation steady state:
+//   * messages live in slab-allocated nodes recycled through a free list;
+//   * per-(src, tag) FIFOs are slots in a small flat table, cleared and
+//     reused when drained rather than erased and reallocated;
+//   * the receiver parks its waited-for key, so a push wakes it only when
+//     the matching message arrives (no spurious wakeups), via the fiber
+//     scheduler when the cluster runs cooperatively or a condvar when it
+//     runs on OS threads.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "runtime/fiber.hpp"
 
 namespace tsr::comm {
 
@@ -38,11 +48,19 @@ struct Message {
 
 class Mailbox {
  public:
-  /// Enqueues a message and wakes one waiting receiver.
+  Mailbox() = default;
+  Mailbox(const Mailbox&) = delete;
+  Mailbox& operator=(const Mailbox&) = delete;
+  ~Mailbox();
+
+  /// Enqueues a message and wakes the receiver if it waits for exactly this
+  /// (src, tag).
   void push(Message msg);
 
   /// Blocks until a message from (src, tag) is available and returns it.
-  /// Throws std::runtime_error if the mailbox is poisoned while waiting.
+  /// Only the owning rank may call this (single-consumer contract).
+  /// Throws std::runtime_error if the mailbox is poisoned while waiting or
+  /// the fiber scheduler detects an all-ranks-blocked deadlock.
   Message pop(int src, std::uint64_t tag);
 
   /// Wakes all waiting receivers with an error; used when a peer rank has
@@ -53,11 +71,40 @@ class Mailbox {
   std::size_t pending() const;
 
  private:
-  using Key = std::pair<int, std::uint64_t>;
+  struct Node {
+    Message msg;
+    Node* next = nullptr;
+  };
+
+  // One (src, tag) FIFO. Drained slots stay in the table with live == false
+  // and are reused by the next key, so steady-state traffic allocates
+  // nothing.
+  struct Queue {
+    int src = 0;
+    std::uint64_t tag = 0;
+    Node* head = nullptr;
+    Node* tail = nullptr;
+    bool live = false;
+  };
+
+  Node* alloc_node();
+  void free_node(Node* n);
+  Queue* find_queue(int src, std::uint64_t tag);
+  Queue* find_or_add_queue(int src, std::uint64_t tag);
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::map<Key, std::deque<Message>> queues_;
+  std::vector<Queue> queues_;
+  Node* free_nodes_ = nullptr;
+  std::vector<std::unique_ptr<Node[]>> slabs_;
+  std::size_t slab_used_ = 0;  // nodes handed out of the newest slab
+
+  // Parked receiver (at most one: the owning rank).
+  bool has_waiter_ = false;
+  int waiter_src_ = 0;
+  std::uint64_t waiter_tag_ = 0;
+  rt::FiberWaiter fiber_waiter_;
+
   bool poisoned_ = false;
   std::string poison_reason_;
 };

@@ -11,6 +11,9 @@ Dropout::Dropout(float p, std::uint64_t seed) : p_(p), seed_(seed) {
 Tensor Dropout::forward(const Tensor& x, bool train) {
   if (!train || p_ == 0.0f) {
     masked_last_forward_ = false;
+    // Release the mask from any previous training forward: eval-mode layers
+    // would otherwise pin a full activation-sized tensor indefinitely.
+    mask_ = Tensor();
     return x;
   }
   masked_last_forward_ = true;

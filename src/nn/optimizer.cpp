@@ -45,7 +45,8 @@ void Lamb::step(const std::vector<Param*>& params) {
     // by the layer-wise trust ratio phi(||w||) / ||r||.
     double w_norm2 = 0.0;
     double r_norm2 = 0.0;
-    std::vector<float> r(static_cast<std::size_t>(p->numel()));
+    r_.resize(static_cast<std::size_t>(p->numel()));
+    float* r = r_.data();
     for (std::int64_t i = 0; i < p->numel(); ++i) {
       m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
       v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];

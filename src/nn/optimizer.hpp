@@ -52,6 +52,9 @@ class Lamb final : public Optimizer {
   float weight_decay_;
   std::int64_t t_ = 0;
   std::unordered_map<Param*, State> state_;
+  // Update-direction scratch, reused across params and steps so the hot
+  // training loop does not allocate per step.
+  std::vector<float> r_;
 };
 
 class Adam final : public Optimizer {

@@ -32,37 +32,40 @@ void ZeroAdam::step(const std::vector<nn::Param*>& params) {
     }
 
     // Reduce-scatter the (averaged) gradient: this rank receives the sum of
-    // all replicas' gradients for its element chunk.
-    std::vector<float> grad_padded(static_cast<std::size_t>(padded), 0.0f);
-    std::memcpy(grad_padded.data(), p->grad.data(),
+    // all replicas' gradients for its element chunk. Scratch vectors are
+    // optimizer members: assign/resize keep their capacity, so steady-state
+    // steps allocate nothing. The zero-filled ones must stay zero-filled —
+    // the padding tail is sent to peers.
+    grad_padded_.assign(static_cast<std::size_t>(padded), 0.0f);
+    std::memcpy(grad_padded_.data(), p->grad.data(),
                 static_cast<std::size_t>(n) * sizeof(float));
-    std::vector<float> my_grad(static_cast<std::size_t>(chunk));
-    dp_.reduce_scatter(grad_padded, my_grad);
+    my_grad_.resize(static_cast<std::size_t>(chunk));
+    dp_.reduce_scatter(grad_padded_, my_grad_);
 
     // Sharded Adam on the owned elements (decoupled weight decay).
-    std::vector<float> updated(static_cast<std::size_t>(padded), 0.0f);
+    updated_.assign(static_cast<std::size_t>(padded), 0.0f);
     float* m = it->second.m.data();
     float* v = it->second.v.data();
     for (std::int64_t i = 0; i < chunk; ++i) {
       const std::int64_t global = my_begin + i;
       if (global >= n) break;
-      const float gval = my_grad[static_cast<std::size_t>(i)] * inv_g;
+      const float gval = my_grad_[static_cast<std::size_t>(i)] * inv_g;
       const float w = p->value.at(global);
       m[i] = beta1_ * m[i] + (1.0f - beta1_) * gval;
       v[i] = beta2_ * v[i] + (1.0f - beta2_) * gval * gval;
       const float mhat = m[i] / bc1;
       const float vhat = v[i] / bc2;
-      updated[static_cast<std::size_t>(my_begin + i)] =
+      updated_[static_cast<std::size_t>(my_begin + i)] =
           w - lr * (mhat / (std::sqrt(vhat) + eps_) + weight_decay_ * w);
     }
 
     // All-gather the updated values; every replica ends identical.
-    std::vector<float> gathered(static_cast<std::size_t>(padded));
+    gathered_.resize(static_cast<std::size_t>(padded));
     dp_.all_gather(
-        std::span<const float>(updated.data() + my_begin,
+        std::span<const float>(updated_.data() + my_begin,
                                static_cast<std::size_t>(chunk)),
-        gathered);
-    std::memcpy(p->value.data(), gathered.data(),
+        gathered_);
+    std::memcpy(p->value.data(), gathered_.data(),
                 static_cast<std::size_t>(n) * sizeof(float));
   }
 }

@@ -51,6 +51,12 @@ class ZeroAdam {
   float weight_decay_;
   std::int64_t t_ = 0;
   std::unordered_map<nn::Param*, State> state_;
+  // Per-step scratch reused across params and steps (assign/resize keep the
+  // capacity), so steady-state steps allocate nothing on the heap.
+  std::vector<float> grad_padded_;
+  std::vector<float> my_grad_;
+  std::vector<float> updated_;
+  std::vector<float> gathered_;
 };
 
 }  // namespace tsr::par

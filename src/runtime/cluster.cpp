@@ -4,6 +4,8 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/fiber.hpp"
+
 namespace tsr::rt {
 
 void run_spmd(int nranks, const std::function<void(int)>& fn) {
@@ -12,6 +14,12 @@ void run_spmd(int nranks, const std::function<void(int)>& fn) {
   }
   if (nranks == 1) {
     fn(0);  // fast path, also keeps single-rank stacks debuggable
+    return;
+  }
+  if (fibers_enabled()) {
+    // Cooperative backend: all ranks as fibers on this thread. Blocking and
+    // exception contracts match the thread backend; see runtime/fiber.hpp.
+    FiberScheduler::run(nranks, fn);
     return;
   }
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(nranks));

@@ -1,0 +1,166 @@
+#include "runtime/fiber.hpp"
+
+#include <ucontext.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace tsr::rt {
+namespace {
+
+// ASan (and TSan) track stacks per OS thread; swapcontext moves the stack
+// pointer without telling them and produces false positives or crashes, so
+// the fiber backend turns itself off under those sanitizers.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+constexpr bool kSanitizerActive = true;
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+constexpr bool kSanitizerActive = true;
+#else
+constexpr bool kSanitizerActive = false;
+#endif
+#else
+constexpr bool kSanitizerActive = false;
+#endif
+
+// Rank fibers run real layer code (transformer forwards, trace exporters),
+// so the stacks are sized like small thread stacks, not coroutine stacks.
+constexpr std::size_t kDefaultStackBytes = 1 << 20;  // 1 MiB
+
+std::size_t fiber_stack_bytes() {
+  static const std::size_t bytes = [] {
+    if (const char* env = std::getenv("TESSERACT_FIBER_STACK_KB")) {
+      const long kb = std::atol(env);
+      if (kb >= 64) return static_cast<std::size_t>(kb) * 1024;
+    }
+    return kDefaultStackBytes;
+  }();
+  return bytes;
+}
+
+thread_local FiberScheduler* t_scheduler = nullptr;
+
+enum class FiberState { Runnable, Blocked, Done };
+
+struct Fiber {
+  ucontext_t ctx;
+  std::unique_ptr<char[]> stack;
+  FiberState state = FiberState::Runnable;
+  std::exception_ptr error;
+};
+
+}  // namespace
+
+struct FiberScheduler::Impl {
+  ucontext_t sched_ctx;
+  std::vector<Fiber> fibers;
+  const std::function<void(int)>* fn = nullptr;
+  FiberScheduler* self = nullptr;
+  int live = 0;
+
+  // makecontext entry: picks up scheduler and rank from thread-local state
+  // (makecontext only passes ints portably).
+  static void trampoline() {
+    FiberScheduler* s = t_scheduler;
+    Impl* im = s->impl_;
+    const int rank = s->current_;
+    Fiber& f = im->fibers[static_cast<std::size_t>(rank)];
+    try {
+      (*im->fn)(rank);
+    } catch (...) {
+      f.error = std::current_exception();
+    }
+    f.state = FiberState::Done;
+    --im->live;
+    // Return to the scheduler loop; a Done fiber is never resumed, so the
+    // loop guard below is unreachable in practice.
+    while (true) {
+      swapcontext(&f.ctx, &im->sched_ctx);
+    }
+  }
+};
+
+FiberScheduler* current_scheduler() { return t_scheduler; }
+
+bool fibers_enabled() {
+  static const bool enabled = [] {
+    if (kSanitizerActive) return false;
+    if (const char* env = std::getenv("TESSERACT_SPMD")) {
+      if (std::strcmp(env, "threads") == 0) return false;
+    }
+    return true;
+  }();
+  return enabled;
+}
+
+void FiberScheduler::run(int nranks, const std::function<void(int)>& fn) {
+  Impl impl;
+  FiberScheduler sched;
+  sched.impl_ = &impl;
+  impl.self = &sched;
+  impl.fn = &fn;
+  impl.live = nranks;
+  impl.fibers.resize(static_cast<std::size_t>(nranks));
+
+  const std::size_t stack_bytes = fiber_stack_bytes();
+  for (int r = 0; r < nranks; ++r) {
+    Fiber& f = impl.fibers[static_cast<std::size_t>(r)];
+    f.stack = std::make_unique<char[]>(stack_bytes);
+    if (getcontext(&f.ctx) != 0) {
+      throw std::runtime_error("FiberScheduler: getcontext failed");
+    }
+    f.ctx.uc_stack.ss_sp = f.stack.get();
+    f.ctx.uc_stack.ss_size = stack_bytes;
+    f.ctx.uc_link = nullptr;  // fibers swap back explicitly
+    makecontext(&f.ctx, &Impl::trampoline, 0);
+  }
+
+  // Save and restore the thread-local so nested clusters (a rank running an
+  // inner World::run) resolve Mailbox waits against the innermost scheduler.
+  FiberScheduler* outer = t_scheduler;
+  t_scheduler = &sched;
+  while (impl.live > 0) {
+    bool ran = false;
+    for (int r = 0; r < nranks; ++r) {
+      Fiber& f = impl.fibers[static_cast<std::size_t>(r)];
+      if (f.state != FiberState::Runnable) continue;
+      ran = true;
+      sched.current_ = r;
+      swapcontext(&impl.sched_ctx, &f.ctx);
+      sched.current_ = -1;
+    }
+    if (!ran && impl.live > 0) {
+      // Every live rank is blocked and no message can arrive: deadlock.
+      // Cancel the waits; blocked fibers observe cancelled() and throw,
+      // which unwinds their stacks and lets run() report the error.
+      sched.cancelled_ = true;
+      for (Fiber& f : impl.fibers) {
+        if (f.state == FiberState::Blocked) f.state = FiberState::Runnable;
+      }
+    }
+  }
+  t_scheduler = outer;
+
+  for (const Fiber& f : impl.fibers) {
+    if (f.error) std::rethrow_exception(f.error);
+  }
+}
+
+void FiberScheduler::block_current() {
+  Impl& im = *impl_;
+  const int rank = current_;
+  Fiber& f = im.fibers[static_cast<std::size_t>(rank)];
+  f.state = FiberState::Blocked;
+  swapcontext(&f.ctx, &im.sched_ctx);
+}
+
+void FiberScheduler::wake(int rank) {
+  Fiber& f = impl_->fibers[static_cast<std::size_t>(rank)];
+  if (f.state == FiberState::Blocked) f.state = FiberState::Runnable;
+}
+
+}  // namespace tsr::rt

@@ -1,0 +1,81 @@
+// Cooperative fiber scheduler for the virtual SPMD cluster.
+//
+// The simulated cluster is synchronization-bound, not compute-bound: a rank
+// spends most of its life blocked in Mailbox::pop waiting for a peer. With
+// one OS thread per rank (runtime/cluster.cpp) every such block is a futex
+// syscall plus a kernel context switch — on a small host that dominates the
+// real wall-clock of the paper-scale phantom replays. This scheduler runs
+// all ranks of one cluster as ucontext fibers on the CALLING thread: a rank
+// that would block yields in user space (~100ns) to the next runnable rank,
+// and a Mailbox::push marks the waiting rank runnable again.
+//
+// Semantics are identical to the thread backend for code that follows the
+// SPMD contract (ranks interact only through mailboxes): the simulated
+// clocks, statistics and numerics do not depend on the interleaving. Two
+// differences are deliberate improvements:
+//   * an all-ranks-blocked cycle is detected and reported as an error
+//     instead of hanging the process;
+//   * execution is deterministic (round-robin), which makes failures
+//     reproducible.
+//
+// The backend is selected in rt::run_spmd: fibers by default, OS threads
+// when a sanitizer that tracks stacks is active (ASan needs fiber-switch
+// annotations ucontext does not provide) or when TESSERACT_SPMD=threads.
+#pragma once
+
+#include <functional>
+
+namespace tsr::rt {
+
+class FiberScheduler;
+
+/// Scheduler driving the CURRENT thread, or nullptr when the caller runs on
+/// a plain OS thread. Mailbox::pop uses this to pick its blocking strategy.
+FiberScheduler* current_scheduler();
+
+/// True when run_spmd will use the fiber backend for multi-rank clusters.
+bool fibers_enabled();
+
+/// Handle a blocked fiber leaves with its wait object so the waker can
+/// reschedule it. Embedded in Mailbox; opaque outside the runtime.
+struct FiberWaiter {
+  FiberScheduler* sched = nullptr;
+  int rank = -1;
+
+  bool armed() const { return sched != nullptr; }
+  void clear() { sched = nullptr; rank = -1; }
+};
+
+class FiberScheduler {
+ public:
+  /// Runs fn(0..nranks-1) cooperatively on the calling thread until every
+  /// rank finished. Exceptions thrown by ranks are captured; the lowest
+  /// rank's exception is rethrown after all ranks completed or died, the
+  /// same contract as the thread backend.
+  static void run(int nranks, const std::function<void(int)>& fn);
+
+  /// Called from inside a fiber: suspends until wake(rank) for this rank.
+  /// Returns normally on wake; the caller must re-check its wait condition
+  /// (wakeups may be spurious, e.g. the all-blocked cancellation below).
+  void block_current();
+
+  /// Marks `rank` runnable. Callable from any fiber of this scheduler
+  /// (including the one being woken — then it is a no-op).
+  void wake(int rank);
+
+  /// Set when every live rank was blocked with nobody left to wake them:
+  /// the cluster deadlocked. All waiters are woken and should abort their
+  /// wait by throwing when they observe this flag.
+  bool cancelled() const { return cancelled_; }
+
+  int current_rank() const { return current_; }
+
+ private:
+  FiberScheduler() = default;
+  struct Impl;
+  Impl* impl_ = nullptr;
+  int current_ = -1;
+  bool cancelled_ = false;
+};
+
+}  // namespace tsr::rt

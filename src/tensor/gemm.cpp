@@ -1,36 +1,136 @@
 #include "tensor/gemm.hpp"
 
 #include <algorithm>
+#include <cstring>
+#include <vector>
 
 namespace tsr {
 namespace {
 
-// Element of op(A) at logical (i, j): storage access depends on transpose.
-inline float opa(Trans t, const float* a, std::int64_t lda, std::int64_t i,
-                 std::int64_t j) {
-  return t == Trans::N ? a[i * lda + j] : a[j * lda + i];
+// Packed, cache-blocked GEMM built around one register-tile micro-kernel.
+//
+// Both operands are repacked into contiguous [k][kMR] / [k][kNR] micro-panels
+// so the inner loops run at unit stride regardless of the original leading
+// dimensions, and an kMR x kNR accumulator block lives in registers across
+// the whole k extent of a panel (#pragma omp simd vectorizes the jj lane).
+//
+// Numerics are bit-identical to the scalar loops this replaces. Two rounding
+// disciplines exist and are preserved exactly:
+//   * update form (N/N, T/N): every k-term is accumulated straight into C
+//     in ascending k order, with alpha folded into the packed A element —
+//     the accumulator register block is loaded FROM C per k-panel, so the
+//     per-element rounding sequence matches the scalar i-k-j loops.
+//   * dot form (N/T, T/T): the product is summed over the FULL k extent into
+//     a zeroed accumulator and applied once as c += alpha * acc; k is
+//     deliberately not blocked here, because splitting the sum would change
+//     the rounding.
+constexpr std::int64_t kMR = 4;    // register tile rows
+constexpr std::int64_t kNR = 8;    // register tile cols (two SSE vectors)
+constexpr std::int64_t kKC = 64;   // k-panel depth (update form only)
+constexpr std::int64_t kMC = 64;   // i-panel height
+constexpr std::int64_t kNC = 256;  // j-panel width
+
+std::int64_t round_up(std::int64_t x, std::int64_t q) {
+  return (x + q - 1) / q * q;
 }
 
-// Tile edge for the cache-blocked loops. 64x64 float tiles (16 KiB) keep all
-// three operands resident in L1/L2 on any modern core.
-constexpr std::int64_t kTile = 64;
+// Packs op(A)[i0:i0+mc][k0:k0+kc] as ceil(mc/kMR) micro-panels of layout
+// [kk][kMR], each element scaled by `scale`, short panels zero-padded.
+// trans: element (i, kk) of op(A) is a[kk*lda + i] instead of a[i*lda + kk].
+void pack_a(bool trans, const float* a, std::int64_t lda, std::int64_t i0,
+            std::int64_t k0, std::int64_t mc, std::int64_t kc, float scale,
+            float* dst) {
+  for (std::int64_t ip = 0; ip < mc; ip += kMR) {
+    const std::int64_t mr = std::min(kMR, mc - ip);
+    for (std::int64_t kk = 0; kk < kc; ++kk) {
+      for (std::int64_t ii = 0; ii < mr; ++ii) {
+        const std::int64_t i = i0 + ip + ii;
+        const std::int64_t kg = k0 + kk;
+        dst[kk * kMR + ii] =
+            scale * (trans ? a[kg * lda + i] : a[i * lda + kg]);
+      }
+      for (std::int64_t ii = mr; ii < kMR; ++ii) dst[kk * kMR + ii] = 0.0f;
+    }
+    dst += kc * kMR;
+  }
+}
 
-// Specialized inner kernel for the common N/N case: i-k-j order so the inner
-// loop streams B and C rows contiguously and vectorizes.
-void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-             const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
-             float* c, std::int64_t ldc) {
-  for (std::int64_t i0 = 0; i0 < m; i0 += kTile) {
-    const std::int64_t i1 = std::min(i0 + kTile, m);
-    for (std::int64_t k0 = 0; k0 < k; k0 += kTile) {
-      const std::int64_t k1 = std::min(k0 + kTile, k);
-      for (std::int64_t i = i0; i < i1; ++i) {
-        float* ci = c + i * ldc;
-        for (std::int64_t kk = k0; kk < k1; ++kk) {
-          const float aik = alpha * a[i * lda + kk];
-          const float* bk = b + kk * ldb;
-          for (std::int64_t j = 0; j < n; ++j) {
-            ci[j] += aik * bk[j];
+// Packs op(B)[k0:k0+kc][j0:j0+nc] as ceil(nc/kNR) micro-panels of layout
+// [kk][kNR], short panels zero-padded.
+// trans: element (kk, j) of op(B) is b[j*ldb + kk] instead of b[kk*ldb + j].
+void pack_b(bool trans, const float* b, std::int64_t ldb, std::int64_t k0,
+            std::int64_t j0, std::int64_t kc, std::int64_t nc, float* dst) {
+  for (std::int64_t jp = 0; jp < nc; jp += kNR) {
+    const std::int64_t nr = std::min(kNR, nc - jp);
+    for (std::int64_t kk = 0; kk < kc; ++kk) {
+      for (std::int64_t jj = 0; jj < nr; ++jj) {
+        const std::int64_t j = j0 + jp + jj;
+        const std::int64_t kg = k0 + kk;
+        dst[kk * kNR + jj] = trans ? b[j * ldb + kg] : b[kg * ldb + j];
+      }
+      for (std::int64_t jj = nr; jj < kNR; ++jj) dst[kk * kNR + jj] = 0.0f;
+    }
+    dst += kc * kNR;
+  }
+}
+
+// Rank-kc update of the register tile: acc[ii][jj] += ap[kk][ii] * bp[kk][jj]
+// for kk ascending. Pad lanes hold zeros from packing, so running the full
+// kMR x kNR block is safe; callers store only the live mr x nr corner.
+inline void micro_kernel(std::int64_t kc, const float* ap, const float* bp,
+                         float acc[kMR][kNR]) {
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const float* arow = ap + kk * kMR;
+    const float* brow = bp + kk * kNR;
+    for (std::int64_t ii = 0; ii < kMR; ++ii) {
+      const float aik = arow[ii];
+#pragma omp simd
+      for (std::int64_t jj = 0; jj < kNR; ++jj) {
+        acc[ii][jj] += aik * brow[jj];
+      }
+    }
+  }
+}
+
+// Scratch for the packed panels. thread_local, not per-call: steady-state
+// GEMMs allocate nothing. Safe under the fiber backend too — ranks share a
+// thread cooperatively and a GEMM never yields mid-kernel.
+thread_local std::vector<float> t_apack;
+thread_local std::vector<float> t_bpack;
+
+// Update form (N/N and T/N): C += (alpha * op(A)) * op(B), accumulating into
+// C per k-panel with k strictly ascending.
+void gemm_update(bool a_trans, bool b_trans, std::int64_t m, std::int64_t n,
+                 std::int64_t k, float alpha, const float* a, std::int64_t lda,
+                 const float* b, std::int64_t ldb, float* c, std::int64_t ldc) {
+  t_apack.resize(static_cast<std::size_t>(round_up(kMC, kMR) * kKC));
+  t_bpack.resize(static_cast<std::size_t>(round_up(kNC, kNR) * kKC));
+  for (std::int64_t k0 = 0; k0 < k; k0 += kKC) {
+    const std::int64_t kc = std::min(kKC, k - k0);
+    for (std::int64_t j0 = 0; j0 < n; j0 += kNC) {
+      const std::int64_t nc = std::min(kNC, n - j0);
+      pack_b(b_trans, b, ldb, k0, j0, kc, nc, t_bpack.data());
+      for (std::int64_t i0 = 0; i0 < m; i0 += kMC) {
+        const std::int64_t mc = std::min(kMC, m - i0);
+        pack_a(a_trans, a, lda, i0, k0, mc, kc, alpha, t_apack.data());
+        for (std::int64_t ip = 0; ip < mc; ip += kMR) {
+          const std::int64_t mr = std::min(kMR, mc - ip);
+          for (std::int64_t jp = 0; jp < nc; jp += kNR) {
+            const std::int64_t nr = std::min(kNR, nc - jp);
+            float acc[kMR][kNR] = {};
+            float* cblk = c + (i0 + ip) * ldc + j0 + jp;
+            for (std::int64_t ii = 0; ii < mr; ++ii) {
+              for (std::int64_t jj = 0; jj < nr; ++jj) {
+                acc[ii][jj] = cblk[ii * ldc + jj];
+              }
+            }
+            micro_kernel(kc, t_apack.data() + (ip / kMR) * kc * kMR,
+                         t_bpack.data() + (jp / kNR) * kc * kNR, acc);
+            for (std::int64_t ii = 0; ii < mr; ++ii) {
+              for (std::int64_t jj = 0; jj < nr; ++jj) {
+                cblk[ii * ldc + jj] = acc[ii][jj];
+              }
+            }
           }
         }
       }
@@ -38,53 +138,34 @@ void gemm_nn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
   }
 }
 
-// N/T case: both A rows and B rows stream contiguously; dot-product kernel.
-void gemm_nt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-             const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
-             float* c, std::int64_t ldc) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    const float* ai = a + i * lda;
-    float* ci = c + i * ldc;
-    for (std::int64_t j = 0; j < n; ++j) {
-      const float* bj = b + j * ldb;
-      float acc = 0.0f;
-      for (std::int64_t kk = 0; kk < k; ++kk) {
-        acc += ai[kk] * bj[kk];
+// Dot form (N/T and T/T): acc = op(A) . op(B) over the full k extent, then
+// C += alpha * acc once per element.
+void gemm_dot(bool a_trans, bool b_trans, std::int64_t m, std::int64_t n,
+              std::int64_t k, float alpha, const float* a, std::int64_t lda,
+              const float* b, std::int64_t ldb, float* c, std::int64_t ldc) {
+  t_apack.resize(static_cast<std::size_t>(round_up(kMC, kMR) * k));
+  t_bpack.resize(static_cast<std::size_t>(round_up(kNC, kNR) * k));
+  for (std::int64_t j0 = 0; j0 < n; j0 += kNC) {
+    const std::int64_t nc = std::min(kNC, n - j0);
+    pack_b(b_trans, b, ldb, 0, j0, k, nc, t_bpack.data());
+    for (std::int64_t i0 = 0; i0 < m; i0 += kMC) {
+      const std::int64_t mc = std::min(kMC, m - i0);
+      pack_a(a_trans, a, lda, i0, 0, mc, k, 1.0f, t_apack.data());
+      for (std::int64_t ip = 0; ip < mc; ip += kMR) {
+        const std::int64_t mr = std::min(kMR, mc - ip);
+        for (std::int64_t jp = 0; jp < nc; jp += kNR) {
+          const std::int64_t nr = std::min(kNR, nc - jp);
+          float acc[kMR][kNR] = {};
+          micro_kernel(k, t_apack.data() + (ip / kMR) * k * kMR,
+                       t_bpack.data() + (jp / kNR) * k * kNR, acc);
+          float* cblk = c + (i0 + ip) * ldc + j0 + jp;
+          for (std::int64_t ii = 0; ii < mr; ++ii) {
+            for (std::int64_t jj = 0; jj < nr; ++jj) {
+              cblk[ii * ldc + jj] += alpha * acc[ii][jj];
+            }
+          }
+        }
       }
-      ci[j] += alpha * acc;
-    }
-  }
-}
-
-// T/N case: k is the slow index of both operands; k-i-j order streams C and B.
-void gemm_tn(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-             const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
-             float* c, std::int64_t ldc) {
-  for (std::int64_t kk = 0; kk < k; ++kk) {
-    const float* ak = a + kk * lda;  // row kk of stored A = column of op(A)
-    const float* bk = b + kk * ldb;
-    for (std::int64_t i = 0; i < m; ++i) {
-      const float aik = alpha * ak[i];
-      float* ci = c + i * ldc;
-      for (std::int64_t j = 0; j < n; ++j) {
-        ci[j] += aik * bk[j];
-      }
-    }
-  }
-}
-
-// T/T case (rare in this codebase): generic indexing.
-void gemm_tt(std::int64_t m, std::int64_t n, std::int64_t k, float alpha,
-             const float* a, std::int64_t lda, const float* b, std::int64_t ldb,
-             float* c, std::int64_t ldc) {
-  for (std::int64_t i = 0; i < m; ++i) {
-    float* ci = c + i * ldc;
-    for (std::int64_t j = 0; j < n; ++j) {
-      float acc = 0.0f;
-      for (std::int64_t kk = 0; kk < k; ++kk) {
-        acc += opa(Trans::T, a, lda, i, kk) * b[j * ldb + kk];
-      }
-      ci[j] += alpha * acc;
     }
   }
 }
@@ -106,14 +187,10 @@ void gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
   }
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
 
-  if (ta == Trans::N && tb == Trans::N) {
-    gemm_nn(m, n, k, alpha, a, lda, b, ldb, c, ldc);
-  } else if (ta == Trans::N && tb == Trans::T) {
-    gemm_nt(m, n, k, alpha, a, lda, b, ldb, c, ldc);
-  } else if (ta == Trans::T && tb == Trans::N) {
-    gemm_tn(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+  if (tb == Trans::N) {
+    gemm_update(ta == Trans::T, false, m, n, k, alpha, a, lda, b, ldb, c, ldc);
   } else {
-    gemm_tt(m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    gemm_dot(ta == Trans::T, true, m, n, k, alpha, a, lda, b, ldb, c, ldc);
   }
 }
 

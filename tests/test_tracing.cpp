@@ -258,6 +258,36 @@ TEST(Tracing, PhantomTwinsMatchRealCollectives) {
   }
 }
 
+// Ragged reduce_scatter: the total element count does not divide the group,
+// so the ring's chunks differ in size. The phantom twin must charge exactly
+// the same per-message bytes — the old total_bytes/size() chunking dropped
+// the remainder and this comparison caught it.
+TEST(Tracing, PhantomReduceScatterMatchesRaggedReal) {
+  const std::int64_t total = 403;  // 403 = 67 * 6 + 1: rank 0 gets 68 floats
+  World real_world(6, topo::MachineSpec::meluxina());
+  real_world.run([&](Communicator& c) {
+    std::vector<float> data(static_cast<std::size_t>(total), 1.f);
+    const std::size_t mine =
+        static_cast<std::size_t>(total / 6 + (c.rank() == 0 ? 1 : 0));
+    std::vector<float> out(mine);
+    c.reduce_scatter(data, out);
+    for (float v : out) ASSERT_EQ(v, 6.f);
+  });
+  World phantom_world(6, topo::MachineSpec::meluxina());
+  phantom_world.run(
+      [&](Communicator& c) { c.phantom_reduce_scatter(total * 4); });
+  EXPECT_EQ(real_world.max_sim_time(), phantom_world.max_sim_time());
+  EXPECT_EQ(real_world.total_stats().to_string(),
+            phantom_world.total_stats().to_string());
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_EQ(real_world.clock(r).now(), phantom_world.clock(r).now())
+        << "rank " << r;
+    EXPECT_EQ(real_world.stats(r).to_string(),
+              phantom_world.stats(r).to_string())
+        << "rank " << r;
+  }
+}
+
 // Structural checks of the exported Perfetto JSON, parsed with the obs JSON
 // parser as the validity oracle.
 class ChromeExportTest : public ::testing::Test {
