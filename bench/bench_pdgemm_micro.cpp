@@ -1,13 +1,24 @@
 // Google-benchmark micro harness: real host wall-clock of the distributed
 // matmul algorithms on the virtual cluster (small sizes — the host is the
 // substrate here, not the simulated machine) and of the core GEMM kernel.
+// After the registered benchmarks run, a TESSERACT_WORKERS sweep times the
+// parallel GEMM at 1/2/4 workers, verifies byte-identity against W=1, and
+// writes GFLOP/s + speedups to BENCH_pdgemm_micro.json.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
 
 #include "comm/communicator.hpp"
 #include "pdgemm/cannon.hpp"
 #include "pdgemm/solomonik25d.hpp"
 #include "pdgemm/summa.hpp"
 #include "pdgemm/tesseract_mm.hpp"
+#include "perf/export.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/init.hpp"
 
@@ -110,6 +121,84 @@ void BM_Solomonik25D(benchmark::State& state) {
 }
 BENCHMARK(BM_Solomonik25D)->Args({2, 1})->Args({2, 2})->Args({4, 2});
 
+// GEMM worker sweep: the register-blocked kernel split into column stripes
+// over the persistent pool. Bit-identity to W=1 is asserted, not assumed.
+void run_worker_sweep() {
+  const std::int64_t n = 384;  // ~113 MFLOP, well above the parallel cutoff
+  const int iters = 8;
+  const int workers[] = {1, 2, 4};
+  Rng rng(6);
+  Tensor a = random_normal({n, n}, rng);
+  Tensor b = random_normal({n, n}, rng);
+  const double flops = 2.0 * static_cast<double>(n) * n * n;
+
+  std::printf("\nGEMM worker sweep (n=%lld, %d iters, host cores %u):\n",
+              static_cast<long long>(n), iters,
+              std::thread::hardware_concurrency());
+  perf::BenchReport report("pdgemm_micro");
+  std::vector<float> ref_bits;
+  double w1_ms = 0.0;
+  for (const int w : workers) {
+    char buf[8];
+    std::snprintf(buf, sizeof(buf), "%d", w);
+    setenv("TESSERACT_WORKERS", buf, 1);
+    Tensor c = matmul(a, b);  // warm the pool threads and pack arenas
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) c = matmul(a, b);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count() /
+                      iters;
+    bool identical = true;
+    if (w == 1) {
+      ref_bits.assign(c.data(), c.data() + c.numel());
+      w1_ms = ms;
+    } else {
+      identical = std::memcmp(c.data(), ref_bits.data(),
+                              ref_bits.size() * sizeof(float)) == 0;
+    }
+    const double gflops = flops / (ms * 1e6);
+    const double speedup = w1_ms / ms;
+    std::printf("  W=%d: %8.2f ms  %7.2f GFLOP/s  %.2fx vs W=1  %s\n", w, ms,
+                gflops, speedup,
+                identical ? "bit-identical" : "MISMATCH vs W=1");
+    char name[24];
+    std::snprintf(name, sizeof(name), "gemm_n384_w%d", w);
+    obs::JsonValue& jc = report.add_case(name);
+    jc["workers"] = static_cast<std::int64_t>(w);
+    jc["host_cores"] =
+        static_cast<std::int64_t>(std::thread::hardware_concurrency());
+    jc["n"] = n;
+    jc["wall_ms"] = ms;
+    jc["gflops"] = gflops;
+    jc["speedup_vs_w1"] = speedup;
+    jc["bit_identical_to_w1"] = identical;
+  }
+  unsetenv("TESSERACT_WORKERS");
+
+  const GemmScratchStats scratch = gemm_scratch_stats();
+  std::printf("  pack arenas: %llu allocations, %llu reuses\n",
+              static_cast<unsigned long long>(scratch.allocations),
+              static_cast<unsigned long long>(scratch.reuses));
+  obs::JsonValue& js = report.add_case("pack_scratch");
+  js["allocations"] = static_cast<std::int64_t>(scratch.allocations);
+  js["reuses"] = static_cast<std::int64_t>(scratch.reuses);
+
+  const char* out = "BENCH_pdgemm_micro.json";
+  if (report.write(out)) {
+    std::printf("wrote %s\n", out);
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", out);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  run_worker_sweep();
+  return 0;
+}

@@ -9,6 +9,8 @@
 #include "obs/json.hpp"
 #include "obs/memory.hpp"
 #include "runtime/cluster.hpp"
+#include "runtime/fiber.hpp"
+#include "runtime/worker_pool.hpp"
 
 namespace tsr::comm {
 namespace {
@@ -286,6 +288,8 @@ void World::run(const std::function<void(Communicator&)>& fn) {
   // unwinds of peers blocked in collectives, so the caller sees the cause.
   std::vector<std::exception_ptr> primary(static_cast<std::size_t>(nranks_));
   std::vector<std::exception_ptr> secondary(static_cast<std::size_t>(nranks_));
+  const rt::SchedulerStats sched_before =
+      metrics_enabled_ ? rt::scheduler_stats() : rt::SchedulerStats{};
   rt::run_spmd(nranks_, [&](int r) {
     Communicator c = comm(r);
     try {
@@ -302,6 +306,34 @@ void World::run(const std::function<void(Communicator&)>& fn) {
       poison("rank " + std::to_string(r) + " failed");
     }
   });
+  if (metrics_enabled_) {
+    // Scheduler deltas attributable to this run (process-global counters, so
+    // concurrent Worlds see combined numbers — fine for the single-World
+    // benchmarking these feed).
+    const rt::SchedulerStats after = rt::scheduler_stats();
+    metrics_.gauge_set("runtime.scheduler.workers",
+                       static_cast<double>(rt::configured_workers()));
+    metrics_.counter_add("runtime.scheduler.resumes",
+                         static_cast<std::int64_t>(after.resumes -
+                                                   sched_before.resumes));
+    metrics_.counter_add(
+        "runtime.scheduler.local_wakes",
+        static_cast<std::int64_t>(after.local_wakes -
+                                  sched_before.local_wakes));
+    metrics_.counter_add(
+        "runtime.scheduler.cross_wakes",
+        static_cast<std::int64_t>(after.cross_wakes -
+                                  sched_before.cross_wakes));
+    metrics_.counter_add(
+        "runtime.scheduler.parks",
+        static_cast<std::int64_t>(after.parks - sched_before.parks));
+    if (after.deadlocks != sched_before.deadlocks) {
+      metrics_.counter_add(
+          "runtime.scheduler.deadlocks",
+          static_cast<std::int64_t>(after.deadlocks -
+                                    sched_before.deadlocks));
+    }
+  }
   for (const std::exception_ptr& e : primary) {
     if (e) std::rethrow_exception(e);
   }

@@ -1,6 +1,9 @@
 #include "comm/mailbox.hpp"
 
+#include <chrono>
 #include <stdexcept>
+
+#include "runtime/cluster.hpp"
 
 namespace tsr::comm {
 
@@ -121,12 +124,15 @@ Message Mailbox::pop(int src, std::uint64_t tag) {
     if (rt::FiberScheduler* sched = rt::current_scheduler()) {
       fiber_waiter_.sched = sched;
       fiber_waiter_.rank = sched->current_rank();
-      // All fibers share this thread, so nobody can touch the mailbox while
-      // we still hold the lock; release it across the suspension.
+      // Release the lock across the suspension. A push from another worker
+      // may land between the unlock and the context switch; the scheduler's
+      // fiber state machine turns that into a pending wake, so
+      // block_current() then returns immediately instead of losing it.
       lock.unlock();
       sched->block_current();
       lock.lock();
-      // Wakeups may be cancellations: an all-ranks-blocked cycle means no
+      // Wakeups may be cancellations: an all-ranks-blocked cycle (detected
+      // by the global quiescence check across all workers) means no
       // matching message can ever arrive.
       if (sched->cancelled() && !poisoned_ && find_queue(src, tag) == nullptr) {
         has_waiter_ = false;
@@ -136,9 +142,25 @@ Message Mailbox::pop(int src, std::uint64_t tag) {
             "receive with no message in flight");
       }
       // A push that matched us disarmed the waiter; clear any stale state
-      // from e.g. a poison wake.
+      // from e.g. a poison wake or a spurious pending-wake consumption.
       has_waiter_ = false;
       fiber_waiter_.clear();
+    } else if (rt::BlockedSlot* slot = rt::current_blocked_slot()) {
+      // Thread backend under the deadlock watchdog: publish what this rank
+      // waits on and poll the cancel flag alongside the condition so a
+      // cluster deadlock throws (with the watchdog's dump) instead of
+      // hanging the process.
+      slot->begin_wait(src, tag);
+      while (!poisoned_ && find_queue(src, tag) == nullptr) {
+        if (slot->cancel.load()) {
+          slot->end_wait();
+          has_waiter_ = false;
+          throw std::runtime_error(*slot->report.load());
+        }
+        cv_.wait_for(lock, std::chrono::milliseconds(20));
+      }
+      slot->end_wait();
+      has_waiter_ = false;
     } else {
       cv_.wait(lock, [&] {
         return poisoned_ || find_queue(src, tag) != nullptr;

@@ -16,7 +16,10 @@
 //   * the receiver parks its waited-for key, so a push wakes it only when
 //     the matching message arrives (no spurious wakeups), via the fiber
 //     scheduler when the cluster runs cooperatively or a condvar when it
-//     runs on OS threads.
+//     runs on OS threads. Under the multi-worker fiber scheduler the wake
+//     crosses worker threads through the scheduler's atomic fiber-state
+//     handoff: the common case (target's worker busy) costs no syscall, and
+//     only a genuinely parked worker is kicked through its condvar.
 #pragma once
 
 #include <condition_variable>

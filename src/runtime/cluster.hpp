@@ -1,24 +1,78 @@
-// Virtual SPMD cluster: runs one function on N ranks, one OS thread each.
+// Virtual SPMD cluster: runs one function on N ranks.
 //
 // This substitutes for the paper's GPU cluster (see DESIGN.md §1). Each rank
 // executes the same function with its rank id — the SPMD model of MPI/NCCL —
 // and communicates only through the comm::Communicator handed to it.
 // Exceptions thrown by any rank are captured, the cluster is drained, and
 // the first exception is rethrown to the caller.
+//
+// Two backends exist (selection in runtime/fiber.hpp): cooperative fibers
+// sharded over TESSERACT_WORKERS worker threads by default, and one OS
+// thread per rank under sanitizers or TESSERACT_SPMD=threads. The fiber
+// backend detects cluster deadlocks natively (global quiescence check); the
+// thread backend gains the same property through the watchdog below.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <exception>
 #include <functional>
+#include <string>
 
 namespace tsr::rt {
 
-/// Runs `fn(rank)` on `nranks` threads and joins them all.
+/// Runs `fn(rank)` on `nranks` virtual ranks and joins them all.
 ///
 /// If one or more ranks throw, every rank is still joined (communicators
 /// must not be destroyed under a live rank) and the lowest-rank exception is
-/// rethrown. Deadlock caused by a crashed peer is the caller's concern:
-/// collectives in this codebase only throw on programmer error (shape or
-/// group mismatch), which tests exercise single-ranked.
+/// rethrown.
 void run_spmd(int nranks, const std::function<void(int)>& fn);
+
+// ---- Thread-backend deadlock watchdog --------------------------------------
+// A cluster deadlock under the thread backend used to hang the process (and
+// CI) forever; the fiber backend detects and reports it. The watchdog closes
+// the gap: when TESSERACT_DEADLOCK_MS > 0, run_spmd's thread backend spawns
+// a monitor that observes each rank's blocked state (published by
+// Mailbox::pop through the BlockedSlot of the calling rank thread). If every
+// live rank stays blocked in a receive with no mailbox progress for the
+// configured window, the watchdog cancels all waits and the ranks throw an
+// error carrying a per-rank blocked-state dump. Off by default in normal
+// builds (no false positives possible, but also no overhead unless asked);
+// tests enable it through their environment so a deadlock fails fast.
+
+/// Milliseconds of global no-progress after which the thread backend reports
+/// a deadlock; 0 (the default when TESSERACT_DEADLOCK_MS is unset) disables
+/// the watchdog. Re-read from the environment on every call.
+int deadlock_timeout_ms();
+
+/// Blocked-state mailbox rank threads publish for the watchdog. All fields
+/// are atomics written by the owning rank thread and read by the monitor.
+struct BlockedSlot {
+  std::atomic<bool> blocked{false};
+  std::atomic<bool> done{false};
+  std::atomic<int> src{0};             ///< world rank waited on (valid when blocked)
+  std::atomic<std::uint64_t> tag{0};   ///< message tag waited on
+  std::atomic<std::uint64_t> epoch{0}; ///< bumped on every block/unblock
+  std::atomic<bool> cancel{false};     ///< set by the watchdog: abort the wait
+  /// Per-rank dump the watchdog prepared; valid once cancel is true (the
+  /// string outlives the rank threads — it lives in run_spmd's frame).
+  std::atomic<const std::string*> report{nullptr};
+  int rank = 0;
+
+  void begin_wait(int s, std::uint64_t t) {
+    src.store(s, std::memory_order_relaxed);
+    tag.store(t, std::memory_order_relaxed);
+    epoch.fetch_add(1, std::memory_order_relaxed);
+    blocked.store(true);
+  }
+  void end_wait() {
+    blocked.store(false);
+    epoch.fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+/// Slot of the calling rank thread under a watched thread-backend run, or
+/// nullptr (fiber backend, unwatched runs, threads outside run_spmd).
+BlockedSlot* current_blocked_slot();
 
 }  // namespace tsr::rt

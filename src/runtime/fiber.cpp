@@ -2,19 +2,24 @@
 
 #include <ucontext.h>
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
-#include <vector>
+
+#include "runtime/worker_pool.hpp"
 
 namespace tsr::rt {
 namespace {
 
-// ASan (and TSan) track stacks per OS thread; swapcontext moves the stack
+// ASan and TSan track stacks per OS thread; swapcontext moves the stack
 // pointer without telling them and produces false positives or crashes, so
-// the fiber backend turns itself off under those sanitizers.
+// the fiber backend turns itself off under those sanitizers (run_spmd falls
+// back to one OS thread per rank).
 #if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
 constexpr bool kSanitizerActive = true;
 #elif defined(__has_feature)
@@ -42,59 +47,218 @@ std::size_t fiber_stack_bytes() {
   return bytes;
 }
 
-thread_local FiberScheduler* t_scheduler = nullptr;
-
-enum class FiberState { Runnable, Blocked, Done };
+// Fiber lifecycle, driven by lock-free transitions so a waker on another
+// worker can race the fiber's own suspension without losing the wake:
+//   Runnable --(worker claims)--> Running --(block_current)--> Blocked
+//   Blocked --(wake)--> Runnable
+//   Running --(wake)--> WakePending   (consumed by the next block_current,
+//                                      which then returns immediately)
+//   Running --(fn returned)--> Done
+enum : int { kRunnable, kRunning, kBlocked, kWakePending, kDone };
 
 struct Fiber {
   ucontext_t ctx;
   std::unique_ptr<char[]> stack;
-  FiberState state = FiberState::Runnable;
+  std::atomic<int> state{kRunnable};
   std::exception_ptr error;
 };
+
+struct Worker {
+  int id = 0;
+  int first = 0, last = 0;  // contiguous rank shard [first, last)
+  ucontext_t sched_ctx;
+  std::mutex mu;
+  std::condition_variable cv;
+  std::atomic<bool> parked{false};
+  bool signal = false;  // guarded by mu
+  std::uint64_t resumes = 0;
+  std::uint64_t parks = 0;
+};
+
+// Worker context of the calling thread. current_ worker/rank are what
+// current_scheduler() / current_rank() / block_current() resolve against;
+// saved and restored around nested runs.
+thread_local FiberScheduler* t_scheduler = nullptr;
+thread_local Worker* t_worker = nullptr;
+thread_local int t_current_rank = -1;
+
+// Process-wide cumulative telemetry (see SchedulerStats).
+constexpr int kMaxWorkers = 64;
+std::atomic<std::uint64_t> g_runs{0}, g_resumes{0}, g_local_wakes{0},
+    g_cross_wakes{0}, g_parks{0}, g_deadlocks{0};
+std::atomic<std::uint64_t> g_worker_resumes[kMaxWorkers] = {};
 
 }  // namespace
 
 struct FiberScheduler::Impl {
-  ucontext_t sched_ctx;
-  std::vector<Fiber> fibers;
+  int nranks = 0;
+  int nworkers = 0;
+  std::unique_ptr<Fiber[]> fibers;
+  std::unique_ptr<Worker[]> workers;
   const std::function<void(int)>* fn = nullptr;
   FiberScheduler* self = nullptr;
-  int live = 0;
+  std::atomic<int> live{0};
+  std::atomic<int> parked_workers{0};
+  std::atomic<bool> cancelled{false};
+
+  // Static contiguous sharding: rank r belongs to worker r * W / nranks
+  // (ring neighbours mostly co-located, every worker non-empty).
+  int worker_of(int rank) const {
+    return static_cast<int>(static_cast<long>(rank) * nworkers / nranks);
+  }
+
+  bool shard_has_runnable(const Worker& w) const {
+    for (int r = w.first; r < w.last; ++r) {
+      const int s = fibers[r].state.load();
+      if (s == kRunnable || s == kWakePending) return true;
+    }
+    return false;
+  }
+
+  void unpark(Worker& w) {
+    if (&w == t_worker) return;  // it is running us right now
+    if (!w.parked.load()) return;
+    {
+      std::lock_guard lock(w.mu);
+      w.signal = true;
+    }
+    w.cv.notify_one();
+  }
+
+  void unpark_all() {
+    for (int i = 0; i < nworkers; ++i) unpark(workers[i]);
+  }
+
+  // Called by the last worker to park. All workers parked means no fiber is
+  // Running (a running fiber keeps its worker out of park), and every wake
+  // stores Runnable before its originating fiber can block — so if the scan
+  // still sees every live fiber Blocked, no wake is in flight and none can
+  // ever arrive: the cluster deadlocked. Cancel the waits; blocked fibers
+  // observe cancelled() in Mailbox::pop and throw, which unwinds their
+  // stacks and lets run() report the error.
+  void check_quiescence() {
+    for (int r = 0; r < nranks; ++r) {
+      const int s = fibers[r].state.load();
+      if (s != kBlocked && s != kDone) return;
+    }
+    if (live.load() == 0) return;
+    g_deadlocks.fetch_add(1, std::memory_order_relaxed);
+    cancelled.store(true);
+    for (int r = 0; r < nranks; ++r) {
+      int expected = kBlocked;
+      fibers[r].state.compare_exchange_strong(expected, kRunnable);
+    }
+    unpark_all();
+  }
 
   // makecontext entry: picks up scheduler and rank from thread-local state
   // (makecontext only passes ints portably).
   static void trampoline() {
     FiberScheduler* s = t_scheduler;
     Impl* im = s->impl_;
-    const int rank = s->current_;
-    Fiber& f = im->fibers[static_cast<std::size_t>(rank)];
+    const int rank = t_current_rank;
+    Fiber& f = im->fibers[rank];
     try {
       (*im->fn)(rank);
     } catch (...) {
       f.error = std::current_exception();
     }
-    f.state = FiberState::Done;
-    --im->live;
-    // Return to the scheduler loop; a Done fiber is never resumed, so the
-    // loop guard below is unreachable in practice.
+    f.state.store(kDone);
+    if (im->live.fetch_sub(1) == 1) im->unpark_all();  // last rank finished
+    // Return to the worker loop; a Done fiber is never resumed, so the loop
+    // guard below is unreachable in practice.
     while (true) {
-      swapcontext(&f.ctx, &im->sched_ctx);
+      swapcontext(&f.ctx, &t_worker->sched_ctx);
     }
+  }
+
+  void worker_loop(int wid) {
+    Worker& w = workers[wid];
+    FiberScheduler* prev_sched = t_scheduler;
+    Worker* prev_worker = t_worker;
+    const int prev_rank = t_current_rank;
+    const int prev_share = detail::t_host_share;
+    t_scheduler = self;
+    t_worker = &w;
+    t_current_rank = -1;
+    // A GEMM inside one of this worker's fibers may use the host share this
+    // worker does not occupy with sibling scheduler workers. Nested
+    // schedulers keep the share of the fiber they run inside.
+    if (prev_share == 0) {
+      const int budget = configured_workers() / nworkers;
+      detail::t_host_share = budget > 1 ? budget : 1;
+    }
+
+    while (live.load() > 0) {
+      bool ran = false;
+      for (int r = w.first; r < w.last; ++r) {
+        Fiber& f = fibers[r];
+        int expected = kRunnable;
+        if (!f.state.compare_exchange_strong(expected, kRunning)) continue;
+        ran = true;
+        ++w.resumes;
+        t_current_rank = r;
+        swapcontext(&w.sched_ctx, &f.ctx);
+        t_current_rank = -1;
+      }
+      if (ran || live.load() == 0) continue;
+      park(w);
+    }
+
+    t_scheduler = prev_sched;
+    t_worker = prev_worker;
+    t_current_rank = prev_rank;
+    detail::t_host_share = prev_share;
+  }
+
+  void park(Worker& w) {
+    w.parked.store(true);
+    // Re-check after publishing parked: a wake that stored Runnable before
+    // reading parked==false is guaranteed visible to this scan (both sides
+    // are seq_cst), so either the waker notifies us or we see the fiber.
+    if (shard_has_runnable(w) || live.load() == 0 || cancelled.load()) {
+      w.parked.store(false);
+      return;
+    }
+    ++w.parks;
+    g_parks.fetch_add(1, std::memory_order_relaxed);
+    if (parked_workers.fetch_add(1) + 1 == nworkers) check_quiescence();
+    {
+      std::unique_lock lock(w.mu);
+      w.cv.wait(lock, [&] {
+        return w.signal || cancelled.load() || live.load() == 0 ||
+               shard_has_runnable(w);
+      });
+      w.signal = false;
+    }
+    parked_workers.fetch_sub(1);
+    w.parked.store(false);
   }
 };
 
 FiberScheduler* current_scheduler() { return t_scheduler; }
 
 bool fibers_enabled() {
-  static const bool enabled = [] {
-    if (kSanitizerActive) return false;
-    if (const char* env = std::getenv("TESSERACT_SPMD")) {
-      if (std::strcmp(env, "threads") == 0) return false;
-    }
-    return true;
-  }();
-  return enabled;
+  if (kSanitizerActive) return false;
+  if (const char* env = std::getenv("TESSERACT_SPMD")) {
+    if (std::strcmp(env, "threads") == 0) return false;
+  }
+  return true;
+}
+
+SchedulerStats scheduler_stats() {
+  SchedulerStats s;
+  s.runs = g_runs.load();
+  s.resumes = g_resumes.load();
+  s.local_wakes = g_local_wakes.load();
+  s.cross_wakes = g_cross_wakes.load();
+  s.parks = g_parks.load();
+  s.deadlocks = g_deadlocks.load();
+  int top = kMaxWorkers;
+  while (top > 0 && g_worker_resumes[top - 1].load() == 0) --top;
+  s.worker_resumes.resize(static_cast<std::size_t>(top));
+  for (int i = 0; i < top; ++i) s.worker_resumes[i] = g_worker_resumes[i].load();
+  return s;
 }
 
 void FiberScheduler::run(int nranks, const std::function<void(int)>& fn) {
@@ -103,12 +267,22 @@ void FiberScheduler::run(int nranks, const std::function<void(int)>& fn) {
   sched.impl_ = &impl;
   impl.self = &sched;
   impl.fn = &fn;
-  impl.live = nranks;
-  impl.fibers.resize(static_cast<std::size_t>(nranks));
+  impl.nranks = nranks;
+  impl.live.store(nranks);
+  // Nested clusters (a rank running an inner World::run) stay single-worker
+  // on the calling thread: their host share is already owned by the outer
+  // scheduler, and their mailbox waits resolve against the innermost
+  // scheduler through the usual thread-local save/restore.
+  const bool nested = t_scheduler != nullptr;
+  int nworkers = nested ? 1 : configured_workers();
+  if (nworkers > nranks) nworkers = nranks;
+  if (nworkers > kMaxWorkers) nworkers = kMaxWorkers;
+  impl.nworkers = nworkers;
 
+  impl.fibers = std::make_unique<Fiber[]>(static_cast<std::size_t>(nranks));
   const std::size_t stack_bytes = fiber_stack_bytes();
   for (int r = 0; r < nranks; ++r) {
-    Fiber& f = impl.fibers[static_cast<std::size_t>(r)];
+    Fiber& f = impl.fibers[r];
     f.stack = std::make_unique<char[]>(stack_bytes);
     if (getcontext(&f.ctx) != 0) {
       throw std::runtime_error("FiberScheduler: getcontext failed");
@@ -118,49 +292,78 @@ void FiberScheduler::run(int nranks, const std::function<void(int)>& fn) {
     f.ctx.uc_link = nullptr;  // fibers swap back explicitly
     makecontext(&f.ctx, &Impl::trampoline, 0);
   }
-
-  // Save and restore the thread-local so nested clusters (a rank running an
-  // inner World::run) resolve Mailbox waits against the innermost scheduler.
-  FiberScheduler* outer = t_scheduler;
-  t_scheduler = &sched;
-  while (impl.live > 0) {
-    bool ran = false;
-    for (int r = 0; r < nranks; ++r) {
-      Fiber& f = impl.fibers[static_cast<std::size_t>(r)];
-      if (f.state != FiberState::Runnable) continue;
-      ran = true;
-      sched.current_ = r;
-      swapcontext(&impl.sched_ctx, &f.ctx);
-      sched.current_ = -1;
-    }
-    if (!ran && impl.live > 0) {
-      // Every live rank is blocked and no message can arrive: deadlock.
-      // Cancel the waits; blocked fibers observe cancelled() and throw,
-      // which unwinds their stacks and lets run() report the error.
-      sched.cancelled_ = true;
-      for (Fiber& f : impl.fibers) {
-        if (f.state == FiberState::Blocked) f.state = FiberState::Runnable;
-      }
-    }
+  impl.workers = std::make_unique<Worker[]>(static_cast<std::size_t>(nworkers));
+  // Shard bounds must be the exact inverse of worker_of (floor(r*W/N)):
+  // first = ceil(w*N/W), i.e. the smallest rank mapping to worker w. A
+  // mismatch would wake one worker while another owns the scan range, which
+  // strands a Runnable fiber forever.
+  for (int w = 0; w < nworkers; ++w) {
+    impl.workers[w].id = w;
+    impl.workers[w].first = static_cast<int>(
+        (static_cast<long>(w) * nranks + nworkers - 1) / nworkers);
+    impl.workers[w].last = static_cast<int>(
+        (static_cast<long>(w + 1) * nranks + nworkers - 1) / nworkers);
   }
-  t_scheduler = outer;
 
-  for (const Fiber& f : impl.fibers) {
-    if (f.error) std::rethrow_exception(f.error);
+  g_runs.fetch_add(1, std::memory_order_relaxed);
+  if (nworkers == 1) {
+    impl.worker_loop(0);
+  } else {
+    WorkerPool::instance().run_exclusive(
+        nworkers, [&impl](int wid) { impl.worker_loop(wid); });
+  }
+
+  for (int w = 0; w < nworkers; ++w) {
+    g_resumes.fetch_add(impl.workers[w].resumes, std::memory_order_relaxed);
+    g_worker_resumes[w].fetch_add(impl.workers[w].resumes,
+                                  std::memory_order_relaxed);
+  }
+  for (int r = 0; r < nranks; ++r) {
+    if (impl.fibers[r].error) std::rethrow_exception(impl.fibers[r].error);
   }
 }
 
+bool FiberScheduler::cancelled() const { return impl_->cancelled.load(); }
+
+int FiberScheduler::current_rank() const { return t_current_rank; }
+
 void FiberScheduler::block_current() {
-  Impl& im = *impl_;
-  const int rank = current_;
-  Fiber& f = im.fibers[static_cast<std::size_t>(rank)];
-  f.state = FiberState::Blocked;
-  swapcontext(&f.ctx, &im.sched_ctx);
+  Worker& w = *t_worker;
+  Fiber& f = impl_->fibers[t_current_rank];
+  int expected = kRunning;
+  if (f.state.compare_exchange_strong(expected, kBlocked)) {
+    swapcontext(&f.ctx, &w.sched_ctx);
+  } else {
+    // A wake raced us while still Running: consume it and keep going (the
+    // caller re-checks its wait condition).
+    f.state.store(kRunning);
+  }
 }
 
 void FiberScheduler::wake(int rank) {
-  Fiber& f = impl_->fibers[static_cast<std::size_t>(rank)];
-  if (f.state == FiberState::Blocked) f.state = FiberState::Runnable;
+  Impl& im = *impl_;
+  Fiber& f = im.fibers[rank];
+  for (;;) {
+    int s = f.state.load();
+    if (s == kBlocked) {
+      if (f.state.compare_exchange_strong(s, kRunnable)) {
+        Worker& target = im.workers[im.worker_of(rank)];
+        if (&target == t_worker) {
+          g_local_wakes.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          g_cross_wakes.fetch_add(1, std::memory_order_relaxed);
+        }
+        im.unpark(target);
+        return;
+      }
+    } else if (s == kRunning) {
+      // Receiver is between releasing the mailbox lock and suspending (or
+      // simply still running): leave a pending wake it will consume.
+      if (f.state.compare_exchange_strong(s, kWakePending)) return;
+    } else {
+      return;  // Runnable / WakePending / Done: nothing to do
+    }
+  }
 }
 
 }  // namespace tsr::rt

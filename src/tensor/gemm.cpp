@@ -1,8 +1,11 @@
 #include "tensor/gemm.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <vector>
+
+#include "runtime/worker_pool.hpp"
 
 namespace tsr {
 namespace {
@@ -92,27 +95,56 @@ inline void micro_kernel(std::int64_t kc, const float* ap, const float* bp,
   }
 }
 
-// Scratch for the packed panels. thread_local, not per-call: steady-state
-// GEMMs allocate nothing. Safe under the fiber backend too — ranks share a
-// thread cooperatively and a GEMM never yields mid-kernel.
-thread_local std::vector<float> t_apack;
-thread_local std::vector<float> t_bpack;
+// Worker-local scratch arena for the packed panels: one per thread (pool
+// workers and fiber-scheduler workers each have their own), grown on first
+// use and reused for every later gemm on that thread, so steady-state GEMM
+// streams allocate nothing. The allocation/reuse counters are the proof —
+// the same pattern comm::BufferPool uses — aggregated process-wide for
+// gemm_scratch_stats(). Safe under the fiber backend: a fiber never yields
+// mid-kernel and never migrates between worker threads.
+std::atomic<std::uint64_t> g_scratch_allocs{0};
+std::atomic<std::uint64_t> g_scratch_reuses{0};
 
-// Update form (N/N and T/N): C += (alpha * op(A)) * op(B), accumulating into
-// C per k-panel with k strictly ascending.
-void gemm_update(bool a_trans, bool b_trans, std::int64_t m, std::int64_t n,
-                 std::int64_t k, float alpha, const float* a, std::int64_t lda,
-                 const float* b, std::int64_t ldb, float* c, std::int64_t ldc) {
-  t_apack.resize(static_cast<std::size_t>(round_up(kMC, kMR) * kKC));
-  t_bpack.resize(static_cast<std::size_t>(round_up(kNC, kNR) * kKC));
+struct PackScratch {
+  std::vector<float> apack;
+  std::vector<float> bpack;
+
+  // One acquisition per gemm kernel invocation on this thread: an
+  // allocation if either panel buffer had to grow, a reuse otherwise.
+  void acquire(std::int64_t a_elems, std::int64_t b_elems) {
+    const bool grew = static_cast<std::size_t>(a_elems) > apack.capacity() ||
+                      static_cast<std::size_t>(b_elems) > bpack.capacity();
+    apack.resize(static_cast<std::size_t>(a_elems));
+    bpack.resize(static_cast<std::size_t>(b_elems));
+    (grew ? g_scratch_allocs : g_scratch_reuses)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+};
+
+thread_local PackScratch t_scratch;
+
+// Update form (N/N and T/N) over the output columns [jb, je): C += (alpha *
+// op(A)) * op(B), accumulating into C per k-panel with k strictly ascending.
+// The full kernel is gemm_update_cols(0, n); a parallel caller hands each
+// worker a disjoint kNR-aligned column stripe. Per C element the
+// floating-point sequence depends only on the k blocking, so any column
+// partition produces bit-identical results.
+void gemm_update_cols(bool a_trans, bool b_trans, std::int64_t m,
+                      std::int64_t k, float alpha, const float* a,
+                      std::int64_t lda, const float* b, std::int64_t ldb,
+                      float* c, std::int64_t ldc, std::int64_t jb,
+                      std::int64_t je) {
+  t_scratch.acquire(round_up(kMC, kMR) * kKC, round_up(kNC, kNR) * kKC);
+  float* apack = t_scratch.apack.data();
+  float* bpack = t_scratch.bpack.data();
   for (std::int64_t k0 = 0; k0 < k; k0 += kKC) {
     const std::int64_t kc = std::min(kKC, k - k0);
-    for (std::int64_t j0 = 0; j0 < n; j0 += kNC) {
-      const std::int64_t nc = std::min(kNC, n - j0);
-      pack_b(b_trans, b, ldb, k0, j0, kc, nc, t_bpack.data());
+    for (std::int64_t j0 = jb; j0 < je; j0 += kNC) {
+      const std::int64_t nc = std::min(kNC, je - j0);
+      pack_b(b_trans, b, ldb, k0, j0, kc, nc, bpack);
       for (std::int64_t i0 = 0; i0 < m; i0 += kMC) {
         const std::int64_t mc = std::min(kMC, m - i0);
-        pack_a(a_trans, a, lda, i0, k0, mc, kc, alpha, t_apack.data());
+        pack_a(a_trans, a, lda, i0, k0, mc, kc, alpha, apack);
         for (std::int64_t ip = 0; ip < mc; ip += kMR) {
           const std::int64_t mr = std::min(kMR, mc - ip);
           for (std::int64_t jp = 0; jp < nc; jp += kNR) {
@@ -124,8 +156,8 @@ void gemm_update(bool a_trans, bool b_trans, std::int64_t m, std::int64_t n,
                 acc[ii][jj] = cblk[ii * ldc + jj];
               }
             }
-            micro_kernel(kc, t_apack.data() + (ip / kMR) * kc * kMR,
-                         t_bpack.data() + (jp / kNR) * kc * kNR, acc);
+            micro_kernel(kc, apack + (ip / kMR) * kc * kMR,
+                         bpack + (jp / kNR) * kc * kNR, acc);
             for (std::int64_t ii = 0; ii < mr; ++ii) {
               for (std::int64_t jj = 0; jj < nr; ++jj) {
                 cblk[ii * ldc + jj] = acc[ii][jj];
@@ -138,26 +170,28 @@ void gemm_update(bool a_trans, bool b_trans, std::int64_t m, std::int64_t n,
   }
 }
 
-// Dot form (N/T and T/T): acc = op(A) . op(B) over the full k extent, then
-// C += alpha * acc once per element.
-void gemm_dot(bool a_trans, bool b_trans, std::int64_t m, std::int64_t n,
-              std::int64_t k, float alpha, const float* a, std::int64_t lda,
-              const float* b, std::int64_t ldb, float* c, std::int64_t ldc) {
-  t_apack.resize(static_cast<std::size_t>(round_up(kMC, kMR) * k));
-  t_bpack.resize(static_cast<std::size_t>(round_up(kNC, kNR) * k));
-  for (std::int64_t j0 = 0; j0 < n; j0 += kNC) {
-    const std::int64_t nc = std::min(kNC, n - j0);
-    pack_b(b_trans, b, ldb, 0, j0, k, nc, t_bpack.data());
+// Dot form (N/T and T/T) over the output columns [jb, je): acc = op(A) .
+// op(B) over the full k extent, then C += alpha * acc once per element.
+void gemm_dot_cols(bool a_trans, bool b_trans, std::int64_t m, std::int64_t k,
+                   float alpha, const float* a, std::int64_t lda,
+                   const float* b, std::int64_t ldb, float* c,
+                   std::int64_t ldc, std::int64_t jb, std::int64_t je) {
+  t_scratch.acquire(round_up(kMC, kMR) * k, round_up(kNC, kNR) * k);
+  float* apack = t_scratch.apack.data();
+  float* bpack = t_scratch.bpack.data();
+  for (std::int64_t j0 = jb; j0 < je; j0 += kNC) {
+    const std::int64_t nc = std::min(kNC, je - j0);
+    pack_b(b_trans, b, ldb, 0, j0, k, nc, bpack);
     for (std::int64_t i0 = 0; i0 < m; i0 += kMC) {
       const std::int64_t mc = std::min(kMC, m - i0);
-      pack_a(a_trans, a, lda, i0, 0, mc, k, 1.0f, t_apack.data());
+      pack_a(a_trans, a, lda, i0, 0, mc, k, 1.0f, apack);
       for (std::int64_t ip = 0; ip < mc; ip += kMR) {
         const std::int64_t mr = std::min(kMR, mc - ip);
         for (std::int64_t jp = 0; jp < nc; jp += kNR) {
           const std::int64_t nr = std::min(kNR, nc - jp);
           float acc[kMR][kNR] = {};
-          micro_kernel(k, t_apack.data() + (ip / kMR) * k * kMR,
-                       t_bpack.data() + (jp / kNR) * k * kNR, acc);
+          micro_kernel(k, apack + (ip / kMR) * k * kMR,
+                       bpack + (jp / kNR) * k * kNR, acc);
           float* cblk = c + (i0 + ip) * ldc + j0 + jp;
           for (std::int64_t ii = 0; ii < mr; ++ii) {
             for (std::int64_t jj = 0; jj < nr; ++jj) {
@@ -170,7 +204,40 @@ void gemm_dot(bool a_trans, bool b_trans, std::int64_t m, std::int64_t n,
   }
 }
 
+// Below this, fan-out overhead beats the win even on a wide host.
+constexpr std::int64_t kMinParallelFlops = 1 << 20;
+
+// Dispatches the column range either serially or as disjoint kNR-aligned
+// stripes over the persistent worker pool. Each worker owns its stripe of C
+// outright and packs into its own thread-local arena; per-element FP
+// sequences are independent of the partition, so results are bit-identical
+// for every worker count (and to the serial kernel).
+template <typename ColsFn>
+void run_cols(std::int64_t m, std::int64_t n, std::int64_t k,
+              const ColsFn& cols) {
+  const int budget = rt::gemm_parallelism();
+  if (budget <= 1 || 2 * m * n * k < kMinParallelFlops || n < 2 * kNR) {
+    cols(0, n);
+    return;
+  }
+  // Stripe width: split n across the budget with 2x oversplit for load
+  // balance, but never below a register tile nor above the cache panel.
+  std::int64_t stripe =
+      round_up((n + 2 * budget - 1) / (2 * budget), kNR);
+  if (stripe > kNC) stripe = kNC;
+  const int nstripes = static_cast<int>((n + stripe - 1) / stripe);
+  rt::WorkerPool::instance().parallel_for(
+      nstripes, budget, [&](int s) {
+        const std::int64_t jb = s * stripe;
+        cols(jb, std::min(n, jb + stripe));
+      });
+}
+
 }  // namespace
+
+GemmScratchStats gemm_scratch_stats() {
+  return {g_scratch_allocs.load(), g_scratch_reuses.load()};
+}
 
 void gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
           float alpha, const float* a, std::int64_t lda, const float* b,
@@ -188,9 +255,15 @@ void gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
 
   if (tb == Trans::N) {
-    gemm_update(ta == Trans::T, false, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    run_cols(m, n, k, [&](std::int64_t jb, std::int64_t je) {
+      gemm_update_cols(ta == Trans::T, false, m, k, alpha, a, lda, b, ldb, c,
+                       ldc, jb, je);
+    });
   } else {
-    gemm_dot(ta == Trans::T, true, m, n, k, alpha, a, lda, b, ldb, c, ldc);
+    run_cols(m, n, k, [&](std::int64_t jb, std::int64_t je) {
+      gemm_dot_cols(ta == Trans::T, true, m, k, alpha, a, lda, b, ldb, c, ldc,
+                    jb, je);
+    });
   }
 }
 

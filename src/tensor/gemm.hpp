@@ -37,4 +37,15 @@ Tensor bmm(const Tensor& a, const Tensor& b, Trans ta = Trans::N,
 /// FLOP count of a gemm with the given logical dimensions (2*m*n*k).
 std::int64_t gemm_flops(std::int64_t m, std::int64_t n, std::int64_t k);
 
+/// Pack-scratch arena telemetry, process-wide across all worker threads.
+/// Every gemm acquires its packed-panel buffers from a worker-local arena;
+/// an acquisition that had to grow the arena counts as an allocation, one
+/// served from existing capacity as a reuse. Steady-state GEMM streams
+/// should reuse >99% (the BufferPool counter pattern).
+struct GemmScratchStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t reuses = 0;
+};
+GemmScratchStats gemm_scratch_stats();
+
 }  // namespace tsr

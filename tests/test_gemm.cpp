@@ -2,6 +2,9 @@
 // alpha/beta handling, batched matmul, and a parameterized size sweep.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <cstring>
+
 #include "tensor/gemm.hpp"
 #include "tensor/init.hpp"
 #include "tensor/kernels.hpp"
@@ -136,6 +139,60 @@ TEST(Gemm, BmmTransposeB) {
 TEST(Gemm, FlopCount) {
   EXPECT_EQ(gemm_flops(2, 3, 4), 48);
   EXPECT_EQ(gemm_flops(0, 3, 4), 0);
+}
+
+// ---- parallel dispatch ----------------------------------------------------
+
+// Sizes above the parallel-dispatch flop threshold, both rounding forms
+// (update: tb == N, dot: tb == T), must be byte-identical to the W=1 result:
+// column striping never changes any element's FP sequence.
+TEST(GemmParallel, BitIdenticalAcrossWorkerCounts) {
+  const std::int64_t m = 96, n = 160, k = 80;  // 2*m*n*k ≈ 2.5M flops
+  Rng rng(11);
+  Tensor a = random_normal({m, k}, rng);
+  Tensor b = random_normal({k, n}, rng);
+  Tensor bt = random_normal({n, k}, rng);
+
+  setenv("TESSERACT_WORKERS", "1", 1);
+  Tensor c_upd_1 = matmul(a, b);
+  Tensor c_dot_1 = matmul(a, bt, Trans::N, Trans::T);
+  for (const char* w : {"2", "4"}) {
+    setenv("TESSERACT_WORKERS", w, 1);
+    Tensor c_upd = matmul(a, b);
+    Tensor c_dot = matmul(a, bt, Trans::N, Trans::T);
+    EXPECT_EQ(std::memcmp(c_upd.data(), c_upd_1.data(),
+                          static_cast<std::size_t>(m * n) * sizeof(float)),
+              0)
+        << "update form differs at W=" << w;
+    EXPECT_EQ(std::memcmp(c_dot.data(), c_dot_1.data(),
+                          static_cast<std::size_t>(m * n) * sizeof(float)),
+              0)
+        << "dot form differs at W=" << w;
+  }
+  unsetenv("TESSERACT_WORKERS");
+}
+
+// A steady-state stream of same-shape GEMMs must hit the worker-local pack
+// arenas, not the allocator: >99% of acquisitions are reuses.
+TEST(GemmScratch, SteadyStateReusesArena) {
+  const std::int64_t m = 64, n = 64, k = 64;
+  Rng rng(12);
+  Tensor a = random_normal({m, k}, rng);
+  Tensor b = random_normal({k, n}, rng);
+  Tensor c({m, n});
+  // Warm the arena on this thread, then measure a long stream.
+  matmul_acc(a, b, c, Trans::N, Trans::N, 0.0f);
+  const GemmScratchStats before = gemm_scratch_stats();
+  const int kIters = 500;
+  for (int i = 0; i < kIters; ++i) {
+    matmul_acc(a, b, c, Trans::N, Trans::N, 0.0f);
+  }
+  const GemmScratchStats after = gemm_scratch_stats();
+  const std::uint64_t allocs = after.allocations - before.allocations;
+  const std::uint64_t reuses = after.reuses - before.reuses;
+  EXPECT_GE(reuses + allocs, static_cast<std::uint64_t>(kIters));
+  EXPECT_GT(static_cast<double>(reuses),
+            0.99 * static_cast<double>(reuses + allocs));
 }
 
 }  // namespace
