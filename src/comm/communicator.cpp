@@ -6,6 +6,8 @@
 #include <iomanip>
 #include <stdexcept>
 
+#include "fault/fault.hpp"
+#include "fault/injector.hpp"
 #include "obs/json.hpp"
 #include "obs/memory.hpp"
 #include "runtime/cluster.hpp"
@@ -121,6 +123,31 @@ World::World(int nranks, topo::MachineSpec spec)
   traces_.resize(static_cast<std::size_t>(nranks));
   flow_sends_.resize(static_cast<std::size_t>(nranks));
   flow_recvs_.resize(static_cast<std::size_t>(nranks));
+  // Environment-driven fault experiments: any World picks up TESSERACT_FAULT_*
+  // at construction, so tests and benches inject faults with no code change.
+  const fault::FaultPlan env_plan = fault::plan_from_env();
+  if (!env_plan.empty()) install_fault_plan(env_plan);
+}
+
+World::~World() = default;
+
+void World::install_fault_plan(const fault::FaultPlan& plan) {
+  if (plan.empty()) return;  // byte-identity guarantee: nothing installed
+  injector_ = std::make_unique<fault::Injector>(plan, this);
+  for (const fault::SlowRankSpec& s : plan.slow_ranks) {
+    for (int r = 0; r < nranks_; ++r) {
+      if (s.rank >= 0 && s.rank != r) continue;
+      clocks_[static_cast<std::size_t>(r)].set_slowdown(s.scale);
+    }
+  }
+  if (plan.recv_timeout_ms > 0) {
+    for (auto& mb : mailboxes_) mb->set_recv_timeout_ms(plan.recv_timeout_ms);
+  }
+}
+
+void World::poison_failure(
+    std::shared_ptr<const std::vector<int>> failed_ranks) {
+  for (auto& mb : mailboxes_) mb->poison_failure(failed_ranks);
 }
 
 void World::record_span(int rank, const char* name, double t0, double t1,
@@ -294,6 +321,22 @@ void World::run(const std::function<void(Communicator&)>& fn) {
     Communicator c = comm(r);
     try {
       fn(c);
+    } catch (const fault::RankKilled& e) {
+      // Injected kill: record the death and post the structured failure so
+      // every survivor's next receive throws PeerFailure with the same
+      // dead-rank set (instead of hanging or tripping the watchdog). The
+      // victim itself unwinds quietly — the failure surfaces through the
+      // survivors, as it would on a real cluster.
+      if (injector_ != nullptr) {
+        poison_failure(injector_->mark_dead(e.rank()));
+      } else {
+        primary[static_cast<std::size_t>(r)] = std::current_exception();
+        poison("rank " + std::to_string(r) + " failed: " + e.what());
+      }
+    } catch (const fault::PeerFailure&) {
+      // Survivor unwinding from a peer's injected death: secondary, so a
+      // genuine primary error (if any) still wins the rethrow.
+      secondary[static_cast<std::size_t>(r)] = std::current_exception();
     } catch (const std::runtime_error& e) {
       if (std::string(e.what()).rfind("Mailbox poisoned", 0) == 0) {
         secondary[static_cast<std::size_t>(r)] = std::current_exception();
@@ -306,6 +349,15 @@ void World::run(const std::function<void(Communicator&)>& fn) {
       poison("rank " + std::to_string(r) + " failed");
     }
   });
+  if (injector_ != nullptr && injector_->has_duplicates()) {
+    // Duplicates whose originals were consumed before the copy landed (or
+    // queued for a (src, tag) never received again) are still in-flight;
+    // purge them so accounting balances and no later run sees stale traffic.
+    for (auto& mb : mailboxes_) {
+      injector_->note_duplicates_discarded(
+          static_cast<std::int64_t>(mb->purge_duplicates()));
+    }
+  }
   if (metrics_enabled_) {
     // Scheduler deltas attributable to this run (process-global counters, so
     // concurrent Worlds see combined numbers — fine for the single-World
@@ -376,6 +428,8 @@ void Communicator::send_msg(int dst_grank, std::uint64_t tag,
                             std::int64_t wire_bytes) {
   const int src_w = world_rank();
   const int dst_w = world_rank_of(dst_grank);
+  fault::Injector* inj = world_->fault_injector();
+  if (inj != nullptr) inj->tick(src_w, clock().now());
   Message m;
   m.src = src_w;
   m.tag = tag;
@@ -387,11 +441,18 @@ void Communicator::send_msg(int dst_grank, std::uint64_t tag,
   // the classic alpha + n*beta.
   const topo::LinkType link = world_->spec().link(src_w, dst_w);
   if (link != topo::LinkType::Self) {
-    const topo::LinkParams& params = world_->spec().params(link);
+    topo::LinkParams params = world_->spec().params(link);
+    if (inj != nullptr && inj->has_link_faults()) {
+      inj->adjust_link(src_w, dst_w, &params);
+    }
     clock().advance(static_cast<double>(wire_bytes) * params.beta);
     m.arrival_time = clock().now() + params.alpha;
   } else {
     m.arrival_time = clock().now();
+  }
+  bool send_duplicate = false;
+  if (inj != nullptr && inj->has_msg_faults()) {
+    send_duplicate = inj->on_message(src_w, dst_w, &m);
   }
   stats().record_msg(wire_bytes, link == topo::LinkType::InterNode);
   if (world_->tracing()) {
@@ -399,6 +460,31 @@ void Communicator::send_msg(int dst_grank, std::uint64_t tag,
     world_->record_flow_send(
         src_w, FlowSend{m.flow_id, clock().now(), dst_w, wire_bytes,
                         link == topo::LinkType::InterNode});
+  }
+  if (send_duplicate) {
+    // The duplicate must carry its own payload copy: the receiver recycles a
+    // consumed payload into its BufferPool once the use count drops to one,
+    // so a shared buffer would alias a recycled (and soon rewritten) vector.
+    Message dup;
+    dup.src = m.src;
+    dup.tag = m.tag;
+    dup.wire_bytes = m.wire_bytes;
+    dup.arrival_time = m.arrival_time;
+    dup.duplicate = true;
+    if (m.payload != nullptr) {
+      dup.payload = std::make_shared<std::vector<float>>(*m.payload);
+    }
+    if (link != topo::LinkType::Self) {
+      // The spurious retransmission occupies the NIC a second time.
+      topo::LinkParams params = world_->spec().params(link);
+      if (inj->has_link_faults()) inj->adjust_link(src_w, dst_w, &params);
+      clock().advance(static_cast<double>(wire_bytes) * params.beta);
+      dup.arrival_time = clock().now() + params.alpha;
+    }
+    stats().record_msg(wire_bytes, link == topo::LinkType::InterNode);
+    world_->mailbox(dst_w).push(std::move(m));
+    world_->mailbox(dst_w).push(std::move(dup));
+    return;
   }
   world_->mailbox(dst_w).push(std::move(m));
 }
@@ -408,7 +494,16 @@ void Communicator::recycle(std::shared_ptr<std::vector<float>> payload) {
 }
 
 Message Communicator::recv_msg(int src_grank, std::uint64_t tag) {
+  fault::Injector* inj = world_->fault_injector();
+  if (inj != nullptr) inj->tick(world_rank(), clock().now());
   Message m = world_->mailbox(world_rank()).pop(world_rank_of(src_grank), tag);
+  if (inj != nullptr && inj->has_duplicates()) {
+    // Sweep injected duplicate copies of this message out of the queue so
+    // they never reach application code (dedup-at-receiver semantics).
+    const std::size_t n =
+        world_->mailbox(world_rank()).discard_duplicates(m.src, tag);
+    if (n > 0) inj->note_duplicates_discarded(static_cast<std::int64_t>(n));
+  }
   const double before = clock().now();
   clock().advance_to(m.arrival_time);
   if (m.flow_id != 0 && world_->tracing()) {

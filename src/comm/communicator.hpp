@@ -32,6 +32,11 @@
 #include "tensor/tensor.hpp"
 #include "topology/machine_spec.hpp"
 
+namespace tsr::fault {
+class Injector;
+struct FaultPlan;
+}  // namespace tsr::fault
+
 namespace tsr::comm {
 
 enum class ReduceOp { Sum, Max };
@@ -79,6 +84,7 @@ class World {
  public:
   explicit World(int nranks,
                  topo::MachineSpec spec = topo::MachineSpec::zero_cost());
+  ~World();  // out of line: unique_ptr<fault::Injector> needs the full type
 
   World(const World&) = delete;
   World& operator=(const World&) = delete;
@@ -107,6 +113,25 @@ class World {
 
   /// Wakes every blocked receiver with an error (peer-failure handling).
   void poison(const std::string& why);
+
+  // ---- Fault injection ------------------------------------------------------
+  // The World constructor reads fault::plan_from_env(), so setting
+  // TESSERACT_FAULT_* makes any run — test, bench, user program — a fault
+  // experiment with no code change. install_fault_plan() is the programmatic
+  // path (perf::EvalConfig::fault and tests use it).
+
+  /// Installs a fault plan: creates the injector, applies straggler clock
+  /// slowdowns and mailbox receive timeouts. A plan whose empty() is true is
+  /// a no-op, leaving every code path byte-identical to a faultless World.
+  void install_fault_plan(const fault::FaultPlan& plan);
+
+  /// Active injector, or nullptr when no (non-empty) plan is installed.
+  fault::Injector* fault_injector() { return injector_.get(); }
+  const fault::Injector* fault_injector() const { return injector_.get(); }
+
+  /// Posts a structured peer failure to every mailbox so all survivors'
+  /// receives throw fault::PeerFailure with the same dead-rank set.
+  void poison_failure(std::shared_ptr<const std::vector<int>> failed_ranks);
 
   // ---- Simulated-timeline tracing -----------------------------------------
   // When enabled, every collective and charged kernel records a span on its
@@ -180,6 +205,7 @@ class World {
   std::vector<std::vector<FlowRecv>> flow_recvs_;  // per rank, owner-written
   std::atomic<std::uint64_t> flow_counter_{0};
   obs::Registry metrics_;
+  std::unique_ptr<fault::Injector> injector_;
 };
 
 /// A rank's handle on an ordered process group.

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <stdexcept>
 
+#include "fault/fault.hpp"
 #include "runtime/cluster.hpp"
 
 namespace tsr::comm {
@@ -103,7 +104,19 @@ void Mailbox::push(Message msg) {
 
 Message Mailbox::pop(int src, std::uint64_t tag) {
   std::unique_lock lock(mu_);
+  // Host-time receive deadline (fault::FaultPlan::recv_timeout_ms); only the
+  // OS-thread wait paths below can honor it.
+  const bool timed = recv_timeout_ms_ > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(timed ? recv_timeout_ms_ : 0);
   for (;;) {
+    // A structured peer failure outranks queued messages and plain poison:
+    // every survivor must surface the same failed-rank set at its next
+    // receive, not consume leftovers from a rank that is already dead.
+    if (failure_ != nullptr) {
+      throw fault::PeerFailure(*failure_);
+    }
     if (poisoned_) {
       throw std::runtime_error("Mailbox poisoned: " + poison_reason_);
     }
@@ -116,6 +129,13 @@ Message Mailbox::pop(int src, std::uint64_t tag) {
       }
       Message msg = std::move(n->msg);
       free_node(n);
+      if (msg.duplicate) {
+        // An injected duplicate landed at the head (its original was already
+        // consumed before the duplicate was pushed). Never deliver it:
+        // swallow here and report through discard_duplicates' accounting.
+        ++dup_skipped_;
+        continue;
+      }
       return msg;
     }
     has_waiter_ = true;
@@ -133,8 +153,10 @@ Message Mailbox::pop(int src, std::uint64_t tag) {
       lock.lock();
       // Wakeups may be cancellations: an all-ranks-blocked cycle (detected
       // by the global quiescence check across all workers) means no
-      // matching message can ever arrive.
-      if (sched->cancelled() && !poisoned_ && find_queue(src, tag) == nullptr) {
+      // matching message can ever arrive. A posted peer failure is not a
+      // deadlock — fall through so the loop top reports PeerFailure.
+      if (sched->cancelled() && !poisoned_ && failure_ == nullptr &&
+          find_queue(src, tag) == nullptr) {
         has_waiter_ = false;
         fiber_waiter_.clear();
         throw std::runtime_error(
@@ -151,20 +173,43 @@ Message Mailbox::pop(int src, std::uint64_t tag) {
       // cluster deadlock throws (with the watchdog's dump) instead of
       // hanging the process.
       slot->begin_wait(src, tag);
-      while (!poisoned_ && find_queue(src, tag) == nullptr) {
+      while (!poisoned_ && failure_ == nullptr &&
+             find_queue(src, tag) == nullptr) {
         if (slot->cancel.load()) {
+          // Re-check under the lock: an injected rank kill posts the
+          // failure and the watchdog may fire in the same instant. The
+          // structured PeerFailure (loop top) must win over the watchdog's
+          // blocked-rank dump.
+          if (failure_ != nullptr) break;
           slot->end_wait();
           has_waiter_ = false;
           throw std::runtime_error(*slot->report.load());
+        }
+        if (timed && std::chrono::steady_clock::now() >= deadline) {
+          slot->end_wait();
+          has_waiter_ = false;
+          throw fault::RecvTimeout(src, tag, recv_timeout_ms_);
         }
         cv_.wait_for(lock, std::chrono::milliseconds(20));
       }
       slot->end_wait();
       has_waiter_ = false;
     } else {
-      cv_.wait(lock, [&] {
-        return poisoned_ || find_queue(src, tag) != nullptr;
-      });
+      if (timed) {
+        const bool ok = cv_.wait_until(lock, deadline, [&] {
+          return poisoned_ || failure_ != nullptr ||
+                 find_queue(src, tag) != nullptr;
+        });
+        if (!ok) {
+          has_waiter_ = false;
+          throw fault::RecvTimeout(src, tag, recv_timeout_ms_);
+        }
+      } else {
+        cv_.wait(lock, [&] {
+          return poisoned_ || failure_ != nullptr ||
+                 find_queue(src, tag) != nullptr;
+        });
+      }
       has_waiter_ = false;
     }
   }
@@ -184,6 +229,77 @@ void Mailbox::poison(const std::string& why) {
   }
   if (to_wake.armed()) to_wake.sched->wake(to_wake.rank);
   cv_.notify_all();
+}
+
+void Mailbox::poison_failure(
+    std::shared_ptr<const std::vector<int>> failed_ranks) {
+  rt::FiberWaiter to_wake;
+  {
+    std::lock_guard lock(mu_);
+    failure_ = std::move(failed_ranks);
+    if (fiber_waiter_.armed()) {
+      to_wake = fiber_waiter_;
+      fiber_waiter_.clear();
+      has_waiter_ = false;
+    }
+  }
+  if (to_wake.armed()) to_wake.sched->wake(to_wake.rank);
+  cv_.notify_all();
+}
+
+void Mailbox::set_recv_timeout_ms(int ms) {
+  std::lock_guard lock(mu_);
+  recv_timeout_ms_ = ms;
+}
+
+std::size_t Mailbox::discard_duplicates(int src, std::uint64_t tag) {
+  std::lock_guard lock(mu_);
+  std::size_t discarded = dup_skipped_;  // swallowed inside pop
+  dup_skipped_ = 0;
+  Queue* q = find_queue(src, tag);
+  if (q == nullptr) return discarded;
+  while (q->head != nullptr && q->head->msg.duplicate) {
+    Node* n = q->head;
+    q->head = n->next;
+    free_node(n);
+    ++discarded;
+  }
+  if (q->head == nullptr) {
+    q->tail = nullptr;
+    q->live = false;
+  }
+  return discarded;
+}
+
+std::size_t Mailbox::purge_duplicates() {
+  std::lock_guard lock(mu_);
+  std::size_t discarded = dup_skipped_;
+  dup_skipped_ = 0;
+  for (Queue& q : queues_) {
+    if (!q.live) continue;
+    Node* prev = nullptr;
+    for (Node* n = q.head; n != nullptr;) {
+      Node* next = n->next;
+      if (n->msg.duplicate) {
+        if (prev != nullptr) {
+          prev->next = next;
+        } else {
+          q.head = next;
+        }
+        if (q.tail == n) q.tail = prev;
+        free_node(n);
+        ++discarded;
+      } else {
+        prev = n;
+      }
+      n = next;
+    }
+    if (q.head == nullptr) {
+      q.tail = nullptr;
+      q.live = false;
+    }
+  }
+  return discarded;
 }
 
 std::size_t Mailbox::pending() const {

@@ -47,6 +47,9 @@ struct Message {
   /// exporter can draw the wire edge and the critical-path analyzer can walk
   /// across ranks. 0 means "not traced".
   std::uint64_t flow_id = 0;
+  /// Injected duplicate copy (fault::DuplicateSpec); the receiver's
+  /// dedup sweep discards it after consuming the original.
+  bool duplicate = false;
 };
 
 class Mailbox {
@@ -63,12 +66,37 @@ class Mailbox {
   /// Blocks until a message from (src, tag) is available and returns it.
   /// Only the owning rank may call this (single-consumer contract).
   /// Throws std::runtime_error if the mailbox is poisoned while waiting or
-  /// the fiber scheduler detects an all-ranks-blocked deadlock.
+  /// the fiber scheduler detects an all-ranks-blocked deadlock, and
+  /// fault::PeerFailure once a structured failure has been posted via
+  /// poison_failure (checked before queued messages, so every survivor
+  /// observes the failure at its next receive).
   Message pop(int src, std::uint64_t tag);
 
   /// Wakes all waiting receivers with an error; used when a peer rank has
   /// failed so blocked collectives do not deadlock the cluster.
   void poison(const std::string& why);
+
+  /// Structured variant of poison for injected rank kills: records the
+  /// shared dead-rank snapshot and wakes the parked receiver, whose pop
+  /// (and every later pop) throws fault::PeerFailure carrying the set.
+  /// Takes precedence over a plain poison and over queued messages.
+  void poison_failure(std::shared_ptr<const std::vector<int>> failed_ranks);
+
+  /// Bounds blocking receives to `ms` of host time (fault::FaultPlan
+  /// recv_timeout_ms). Only the OS-thread backends can honor it — a timed
+  /// wait needs a real clock — so the cooperative fiber backend ignores it
+  /// and relies on poison_failure's instant wakeup instead. <= 0 disables.
+  void set_recv_timeout_ms(int ms);
+
+  /// Drops queued duplicate-flagged messages at the head of the (src, tag)
+  /// FIFO; the receiver calls this after each pop so an injected duplicate
+  /// never reaches application code. Returns how many were discarded.
+  std::size_t discard_duplicates(int src, std::uint64_t tag);
+
+  /// Removes duplicate-flagged messages from every queue (end-of-run
+  /// accounting: a duplicate pushed after its original was already consumed
+  /// and swept is otherwise stranded). Returns how many were removed.
+  std::size_t purge_duplicates();
 
   /// Number of queued messages (for tests / leak checks).
   std::size_t pending() const;
@@ -110,6 +138,11 @@ class Mailbox {
 
   bool poisoned_ = false;
   std::string poison_reason_;
+
+  // Structured failure (injected rank kill). Non-null wins over poisoned_.
+  std::shared_ptr<const std::vector<int>> failure_;
+  int recv_timeout_ms_ = 0;
+  std::size_t dup_skipped_ = 0;  // duplicates swallowed inside pop
 };
 
 }  // namespace tsr::comm

@@ -41,6 +41,7 @@ EvalResult evaluate(const EvalConfig& cfg) {
   const int ranks = cfg.total_ranks();
   check(ranks >= 1, "evaluate: configuration has no ranks");
   comm::World world(ranks, cfg.spec);
+  world.install_fault_plan(cfg.fault);  // no-op for the default empty plan
 
   const int grid_d = cfg.scheme == Scheme::Optimus2D ? 1 : cfg.d;
 

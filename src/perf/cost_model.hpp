@@ -7,6 +7,7 @@
 #include <string>
 
 #include "comm/stats.hpp"
+#include "fault/fault.hpp"
 #include "perf/layer_costs.hpp"
 #include "topology/machine_spec.hpp"
 
@@ -27,6 +28,9 @@ struct EvalConfig {
   /// Encoder layers replayed per batch (the paper's N).
   int layers = 8;
   topo::MachineSpec spec = topo::MachineSpec::meluxina();
+  /// Fault experiment to run the replay under (straggler / degraded-link
+  /// sensitivity studies). The default empty plan changes nothing.
+  fault::FaultPlan fault;
 
   int total_ranks() const;
   /// "[4,4,2]" / "[8,8]" / "[16]" — the GPU-shape notation of the tables.

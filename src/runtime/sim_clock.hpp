@@ -16,20 +16,31 @@ class SimClock {
   /// Current simulated time in seconds.
   double now() const { return now_; }
 
-  /// Advances the clock by `seconds` of local work (compute, packing, ...).
+  /// Advances the clock by `seconds` of local work (compute, packing, ...),
+  /// scaled by the straggler slowdown. The default factor of 1.0 multiplies
+  /// exactly (IEEE), so faultless runs are bit-identical.
   void advance(double seconds) {
-    if (seconds > 0) now_ += seconds;
+    if (seconds > 0) now_ += seconds * slowdown_;
   }
 
   /// Moves the clock forward to `t` if `t` is later (message arrival).
+  /// Waiting is never scaled: a straggler is slow at work, not at idling.
   void advance_to(double t) {
     if (t > now_) now_ = t;
   }
 
+  /// Resets the time, keeping the slowdown factor (fault plans survive
+  /// perf::measure's clock resets).
   void reset(double t = 0.0) { now_ = t; }
+
+  /// Straggler model hook (fault::SlowRankSpec): every local charge on this
+  /// clock runs `factor`x slower. 1.0 restores nominal speed.
+  void set_slowdown(double factor) { slowdown_ = factor; }
+  double slowdown() const { return slowdown_; }
 
  private:
   double now_ = 0.0;
+  double slowdown_ = 1.0;
 };
 
 }  // namespace tsr::rt

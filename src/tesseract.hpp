@@ -10,6 +10,7 @@
 //   tensor/    — Tensor, gemm/matmul, kernels, Rng, initializers
 //   runtime/   — run_spmd, SimClock
 //   comm/      — World, Communicator (collectives + phantom twins)
+//   fault/     — FaultPlan, Injector (seeded fault/straggler injection)
 //   topology/  — Grid3D, MachineSpec, analytic collective costs
 //   pdgemm/    — cannon / summa / solomonik25d / tesseract matmuls
 //   nn/        — serial layers, losses, SGD/Adam/LAMB
@@ -20,6 +21,8 @@
 #pragma once
 
 #include "comm/communicator.hpp"
+#include "fault/fault.hpp"
+#include "fault/injector.hpp"
 #include "nn/loss.hpp"
 #include "nn/optimizer.hpp"
 #include "nn/transformer.hpp"

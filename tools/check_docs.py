@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Documentation consistency gate.
+
+Two checks, run over README.md and docs/*.md:
+
+1. Relative markdown links must resolve to an existing file or directory
+   (anchors and external http(s)/mailto links are skipped).
+2. Environment variables must be documented and real: the set of
+   TESSERACT_* names appearing in the markdown must equal the set of
+   TESSERACT_* string literals in src/ (the variables the code actually
+   reads). A variable documented but never read, or read but never
+   documented, fails the build.
+
+Exit status 0 = clean, 1 = findings (each printed as file:line: message).
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# [text](target) — excluding images' leading '!' does not matter for
+# existence checking, so match both. Inline code spans are stripped first.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+ENV_RE = re.compile(r"TESSERACT_[A-Z0-9_]+")
+# The code's ground truth: quoted literals only, so CMake variables and
+# prose prefixes like "TESSERACT_FAULT_" in comments do not count.
+SRC_ENV_RE = re.compile(r'"(TESSERACT_[A-Z0-9_]+)"')
+
+
+def markdown_files():
+    files = [REPO / "README.md"]
+    files += sorted((REPO / "docs").glob("*.md"))
+    return [f for f in files if f.is_file()]
+
+
+def check_links(md: Path, errors: list):
+    for lineno, line in enumerate(md.read_text().splitlines(), start=1):
+        for target in LINK_RE.findall(line):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            if not resolved.exists():
+                errors.append(
+                    f"{md.relative_to(REPO)}:{lineno}: broken link: {target}"
+                )
+
+
+def env_vars_in_docs():
+    found = {}
+    for md in markdown_files():
+        for lineno, line in enumerate(md.read_text().splitlines(), start=1):
+            for var in ENV_RE.findall(line):
+                # "TESSERACT_FAULT_*"-style family references are prose, not
+                # variable names (the greedy match leaves the underscore on).
+                if var.endswith("_"):
+                    continue
+                found.setdefault(var, (md, lineno))
+    return found
+
+
+def env_vars_in_src():
+    found = {}
+    for src in sorted((REPO / "src").rglob("*")):
+        if src.suffix not in (".cpp", ".hpp"):
+            continue
+        for lineno, line in enumerate(src.read_text().splitlines(), start=1):
+            for var in SRC_ENV_RE.findall(line):
+                found.setdefault(var, (src, lineno))
+    return found
+
+
+def main() -> int:
+    errors = []
+    mds = markdown_files()
+    if len(mds) < 2:
+        errors.append("expected README.md plus docs/*.md, found almost none")
+
+    for md in mds:
+        check_links(md, errors)
+
+    docs_env = env_vars_in_docs()
+    src_env = env_vars_in_src()
+    for var in sorted(set(docs_env) - set(src_env)):
+        md, lineno = docs_env[var]
+        errors.append(
+            f"{md.relative_to(REPO)}:{lineno}: {var} is documented but no "
+            f"source file reads it"
+        )
+    for var in sorted(set(src_env) - set(docs_env)):
+        src, lineno = src_env[var]
+        errors.append(
+            f"{src.relative_to(REPO)}:{lineno}: {var} is read by the code "
+            f"but documented nowhere in README.md or docs/"
+        )
+
+    for e in errors:
+        print(e)
+    if not errors:
+        print(
+            f"docs check clean: {len(mds)} markdown files, "
+            f"{len(src_env)} environment variables cross-checked"
+        )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
