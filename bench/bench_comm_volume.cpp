@@ -14,6 +14,7 @@
 #include "pdgemm/tesseract_mm.hpp"
 #include "perf/critical_path.hpp"
 #include "perf/export.hpp"
+#include "perf/run_report.hpp"
 #include "perf/formulas.hpp"
 #include "tensor/init.hpp"
 
@@ -155,6 +156,7 @@ int main() {
   std::printf("\n=== Critical path, Tesseract[2,2,2] on A[96,96] x B[96,96] ===\n");
   comm::World cp_world(8, topo::MachineSpec::meluxina());
   cp_world.enable_tracing();
+  cp_world.enable_metrics();
   cp_world.run([&](comm::Communicator& c) {
     pdg::TesseractComms tc = pdg::TesseractComms::create(c, 2, 2);
     Tensor ab = pdg::distribute_a_layout(tc, a);
@@ -163,6 +165,14 @@ int main() {
   });
   const perf::CriticalPathReport cp = perf::analyze_critical_path(cp_world);
   std::printf("%s", cp.to_string().c_str());
+
+  // The same traced run, viewed as a full run report: every rank's makespan
+  // attribution plus the p2p communication matrix, as JSON + HTML artifacts.
+  if (perf::write_run_report(cp_world, "comm_volume")) {
+    std::printf("\nwrote REPORT_comm_volume.json and REPORT_comm_volume.html\n");
+  } else {
+    std::fprintf(stderr, "failed to write REPORT_comm_volume.{json,html}\n");
+  }
 
   // Machine-readable twin of everything above.
   perf::BenchReport report("comm_volume");

@@ -166,8 +166,6 @@ void run_worker_sweep() {
     std::snprintf(name, sizeof(name), "gemm_n384_w%d", w);
     obs::JsonValue& jc = report.add_case(name);
     jc["workers"] = static_cast<std::int64_t>(w);
-    jc["host_cores"] =
-        static_cast<std::int64_t>(std::thread::hardware_concurrency());
     jc["n"] = n;
     jc["wall_ms"] = ms;
     jc["gflops"] = gflops;

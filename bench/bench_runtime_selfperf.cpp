@@ -156,7 +156,6 @@ int main() {
   obs::JsonValue& serial = report.add_case("serial_layer");
   serial["wall_ms_per_step"] = serial_ms;
   serial["iters"] = static_cast<std::int64_t>(kIters);
-  serial["host_cores"] = static_cast<std::int64_t>(host_cores);
 
   // Worker sweep: the same 8-rank step under 1, 2 and 4 scheduler workers.
   // Outputs must be byte-identical at every W (the SPMD determinism
@@ -187,7 +186,6 @@ int main() {
     std::snprintf(name, sizeof(name), "tesseract_2x2x2_w%d", w);
     obs::JsonValue& c = report.add_case(name);
     c["workers"] = static_cast<std::int64_t>(w);
-    c["host_cores"] = static_cast<std::int64_t>(host_cores);
     c["wall_ms_per_step"] = m.wall_ms;
     c["speedup_vs_w1"] = speedup;
     c["iters"] = static_cast<std::int64_t>(kIters);
@@ -226,7 +224,6 @@ int main() {
     std::snprintf(name, sizeof(name), "table1_replay_w%d", w);
     obs::JsonValue& c = report.add_case(name);
     c["workers"] = static_cast<std::int64_t>(w);
-    c["host_cores"] = static_cast<std::int64_t>(host_cores);
     c["wall_ms"] = replay_ms[i];
     c["speedup_vs_w1"] = speedup;
   }

@@ -459,7 +459,8 @@ void Communicator::send_msg(int dst_grank, std::uint64_t tag,
     m.flow_id = world_->next_flow_id();
     world_->record_flow_send(
         src_w, FlowSend{m.flow_id, clock().now(), dst_w, wire_bytes,
-                        link == topo::LinkType::InterNode});
+                        link == topo::LinkType::InterNode,
+                        m.payload == nullptr});
   }
   if (send_duplicate) {
     // The duplicate must carry its own payload copy: the receiver recycles a
@@ -509,7 +510,14 @@ Message Communicator::recv_msg(int src_grank, std::uint64_t tag) {
   if (m.flow_id != 0 && world_->tracing()) {
     world_->record_flow_recv(
         world_rank(), FlowRecv{m.flow_id, clock().now(), m.src, m.arrival_time,
-                               m.arrival_time > before});
+                               m.arrival_time > before, before});
+  }
+  if (world_->metrics_enabled() && clock().now() > before) {
+    // Wait-time accounting at the mailbox pop: the stretch this rank's clock
+    // was dragged forward by a message that had not arrived yet.
+    obs::Registry& reg = world_->metrics();
+    reg.histogram_observe("comm.recv.wait_sim_seconds", clock().now() - before);
+    reg.counter_add("comm.recv.blocked");
   }
   return m;
 }

@@ -69,6 +69,7 @@ struct FlowSend {
   int dst = 0;     ///< destination world rank
   std::int64_t bytes = 0;
   bool inter_node = false;
+  bool phantom = false;  ///< payload-free message (declared bytes only)
 };
 
 struct FlowRecv {
@@ -77,6 +78,10 @@ struct FlowRecv {
   int src = 0;           ///< source world rank
   double arrival = 0.0;  ///< modeled arrival time of the message
   bool blocked = false;  ///< true when the arrival advanced the receiver
+  /// Receiver's clock when the pop started: [wait_from, t] is the stretch
+  /// this rank sat blocked on the wire (empty unless `blocked`). Recorded
+  /// verbatim so run-report attribution tiles the timeline exactly.
+  double wait_from = 0.0;
 };
 
 /// Shared state of one virtual cluster: mailboxes, clocks, stats, machine.
@@ -325,6 +330,8 @@ class Communicator {
       }
       if (c->world_->metrics_enabled()) {
         obs::Registry& reg = c->world_->metrics();
+        // metric: comm.<op>.sim_seconds
+        // metric: comm.<op>.bytes
         const std::string key = std::string("comm.") + name;
         reg.histogram_observe(key + ".sim_seconds", c->clock().now() - t0);
         if (bytes > 0) reg.counter_add(key + ".bytes", bytes);

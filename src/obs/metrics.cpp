@@ -19,6 +19,31 @@ void HistogramData::observe(double value) {
   buckets[static_cast<std::size_t>(bucket_of(value))] += 1;
 }
 
+double HistogramData::quantile(double q) const {
+  if (count == 0) return 0.0;
+  if (!(q > 0.0)) return min;  // also catches NaN
+  if (q >= 1.0) return max;
+  // Nearest-rank: the target sample is the ceil(q*count)-th smallest (1-based).
+  const std::int64_t target = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(std::ceil(q * static_cast<double>(count))));
+  std::int64_t below = 0;  // samples in buckets before the target's
+  for (int i = 0; i < kBuckets; ++i) {
+    const std::int64_t in_bucket = buckets[static_cast<std::size_t>(i)];
+    if (in_bucket == 0) continue;
+    if (below + in_bucket >= target) {
+      // Interpolate at the midpoint of the target sample's share of the
+      // bucket [floor, 2*floor); the clamp below restores exactness whenever
+      // min/max pin the true range tighter than the bucket does.
+      const double lo = bucket_floor(i);
+      const double frac = (static_cast<double>(target - below) - 0.5) /
+                          static_cast<double>(in_bucket);
+      return std::clamp(lo * (1.0 + frac), min, max);
+    }
+    below += in_bucket;
+  }
+  return max;  // unreachable when the bucket counts sum to `count`
+}
+
 double HistogramData::bucket_floor(int i) {
   return 1e-9 * std::ldexp(1.0, i);
 }

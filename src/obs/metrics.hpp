@@ -36,6 +36,16 @@ struct HistogramData {
 
   void observe(double value);
   double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+  /// Quantile estimate from the log-bucketed counts: locates the bucket of
+  /// the ceil(q*count)-th sample and interpolates linearly inside it, then
+  /// clamps to the exact [min, max] so degenerate histograms (empty, single
+  /// sample, all-one-bucket) return exact values instead of bucket midpoints.
+  /// The relative error is bounded by the bucket width (a factor of 2).
+  /// q outside [0, 1] is clamped; an empty histogram returns 0.
+  double quantile(double q) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
   /// Lower bound of bucket i in seconds.
   static double bucket_floor(int i);
   /// Bucket index a value of `seconds` falls into.

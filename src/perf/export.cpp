@@ -1,8 +1,29 @@
 #include "perf/export.hpp"
 
+#include <cstdlib>
+#include <thread>
 #include <utility>
 
+#include "runtime/fiber.hpp"
+
 namespace tsr::perf {
+
+void stamp_envelope(obs::JsonValue& root, const std::string& kind) {
+  root["schema_version"] = kReportSchemaVersion;
+  root["kind"] = kind;
+  root["backend"] = rt::fibers_enabled() ? "fibers" : "threads";
+  int workers = static_cast<int>(std::thread::hardware_concurrency());
+  if (const char* w = std::getenv("TESSERACT_WORKERS")) {
+    const int parsed = std::atoi(w);
+    if (parsed > 0) workers = parsed;
+  }
+  root["workers"] = static_cast<std::int64_t>(workers);
+  root["host_cores"] =
+      static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  if (const char* label = std::getenv("TESSERACT_RUN_LABEL")) {
+    root["run_label"] = label;
+  }
+}
 
 obs::JsonValue stats_to_json(const comm::CommStats& stats) {
   obs::JsonValue j = obs::JsonValue::object();
@@ -62,6 +83,7 @@ obs::JsonValue snapshot_to_json(const obs::Snapshot& snap) {
 
 BenchReport::BenchReport(std::string bench_name)
     : root_(obs::JsonValue::object()) {
+  stamp_envelope(root_, "bench");
   root_["bench"] = std::move(bench_name);
   root_["cases"] = obs::JsonValue::array();
 }

@@ -16,12 +16,26 @@
 
 namespace tsr::perf {
 
+/// Version stamped on every exported BENCH_*/REPORT_* document. Bump when
+/// the meaning or layout of an existing field changes; pure additions keep
+/// the version.
+inline constexpr std::int64_t kReportSchemaVersion = 1;
+
+/// Stamps the envelope every exported document shares: `schema_version`,
+/// document `kind` ("bench", "run_report", ...), scheduler `backend`
+/// (fibers/threads), `workers` (TESSERACT_WORKERS or the hardware default),
+/// `host_cores`, and — when the TESSERACT_RUN_LABEL environment variable is
+/// set — a free-form `run_label` so CI can tag artifacts per configuration.
+/// The envelope describes the host environment, never simulated results:
+/// report diffing skips these fields.
+void stamp_envelope(obs::JsonValue& root, const std::string& kind);
+
 obs::JsonValue stats_to_json(const comm::CommStats& stats);
 obs::JsonValue measurement_to_json(const Measurement& m);
 obs::JsonValue snapshot_to_json(const obs::Snapshot& snap);
 
 /// Accumulates named benchmark cases and writes one JSON document:
-///   {"bench": <name>, "cases": [{"name": ..., <fields>}, ...]}
+///   {<envelope>, "bench": <name>, "cases": [{"name": ..., <fields>}, ...]}
 class BenchReport {
  public:
   explicit BenchReport(std::string bench_name);

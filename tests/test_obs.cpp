@@ -58,6 +58,62 @@ TEST(Metrics, HistogramBucketsAndStats) {
   }
 }
 
+TEST(Metrics, QuantileEdgeCases) {
+  // Empty histogram: quantiles are 0, not garbage.
+  HistogramData empty{};
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.p99(), 0.0);
+
+  // Single sample: every quantile is that sample exactly (the estimate is
+  // clamped to [min, max], so bucket interpolation cannot smear it).
+  Registry reg;
+  reg.histogram_observe("one", 3.5e-6);
+  const HistogramData one = reg.snapshot().histograms.at("one");
+  EXPECT_DOUBLE_EQ(one.quantile(0.01), 3.5e-6);
+  EXPECT_DOUBLE_EQ(one.p50(), 3.5e-6);
+  EXPECT_DOUBLE_EQ(one.p99(), 3.5e-6);
+
+  // Degenerate q: q <= 0 pins to min, q >= 1 pins to max; NaN acts like 0.
+  reg.histogram_observe("two", 1e-3);
+  reg.histogram_observe("two", 1.0);
+  const HistogramData two = reg.snapshot().histograms.at("two");
+  EXPECT_DOUBLE_EQ(two.quantile(0.0), 1e-3);
+  EXPECT_DOUBLE_EQ(two.quantile(-1.0), 1e-3);
+  EXPECT_DOUBLE_EQ(two.quantile(1.0), 1.0);
+  EXPECT_DOUBLE_EQ(two.quantile(2.0), 1.0);
+  EXPECT_DOUBLE_EQ(two.quantile(std::nan("")), 1e-3);
+}
+
+TEST(Metrics, QuantileBucketBoundariesAndMonotonicity) {
+  // Values exactly on bucket floors: the estimate must stay within the
+  // observed [min, max] and be monotone in q.
+  Registry reg;
+  for (int i = 0; i < 100; ++i) {
+    reg.histogram_observe("h", HistogramData::bucket_floor(i % 8 + 4));
+  }
+  const HistogramData h = reg.snapshot().histograms.at("h");
+  double prev = h.min;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << q;
+    EXPECT_GE(v, h.min) << q;
+    EXPECT_LE(v, h.max) << q;
+    prev = v;
+  }
+  EXPECT_LE(h.p50(), h.p95());
+  EXPECT_LE(h.p95(), h.p99());
+  EXPECT_LE(h.p99(), h.max);
+
+  // A heavily skewed distribution: 99 fast samples, 1 slow one. p50 must
+  // stay near the fast mass, p99 must reach toward the outlier's bucket.
+  Registry reg2;
+  for (int i = 0; i < 99; ++i) reg2.histogram_observe("s", 1e-6);
+  reg2.histogram_observe("s", 1.0);
+  const HistogramData s = reg2.snapshot().histograms.at("s");
+  EXPECT_LT(s.p50(), 1e-5);
+  EXPECT_GT(s.quantile(0.999), 0.1);
+}
+
 TEST(Metrics, ScopedTimerRecordsSimulatedElapsed) {
   Registry reg;
   rt::SimClock clock;
@@ -144,6 +200,91 @@ TEST(Json, ParseRejectsMalformedInput) {
     EXPECT_TRUE(v.is_null()) << bad;
     EXPECT_FALSE(err.empty()) << bad;
   }
+}
+
+TEST(Json, ParseStringEscapesRoundTrip) {
+  // Every escape the dumper can emit parses back to the original bytes.
+  const std::string original = "quote\" back\\ slash/ \b\f\n\r\t \x01\x1f end";
+  JsonValue v = JsonValue::object();
+  v["s"] = original;
+  std::string err;
+  JsonValue round = json_parse(v.dump(), &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(round.find("s")->as_string(), original);
+  // Explicit escape forms, including solidus and \u control escapes.
+  JsonValue esc = json_parse(
+      "\"\\\" \\\\ \\/ \\b \\f \\n \\r \\t \\u0007\"", &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(esc.as_string(), "\" \\ / \b \f \n \r \t \a");
+}
+
+TEST(Json, ParseUnicodeEscapesAndPassthrough) {
+  std::string err;
+  // \u escapes across UTF-8 widths: 1-byte A, 2-byte é, 3-byte €.
+  JsonValue v = json_parse("\"\\u0041 \\u00e9 \\u20ac\"", &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(v.as_string(), "A \xC3\xA9 \xE2\x82\xAC");
+  // Raw (already-encoded) UTF-8 passes through untouched.
+  const std::string raw = "\"caf\xC3\xA9 \xE2\x82\xAC 5\"";
+  JsonValue raw_v = json_parse(raw, &err);
+  ASSERT_TRUE(err.empty()) << err;
+  EXPECT_EQ(raw_v.as_string(), "caf\xC3\xA9 \xE2\x82\xAC 5");
+}
+
+TEST(Json, ParseDeepNesting) {
+  // Deep but reasonable nesting must parse without blowing the stack, and
+  // the tree must round-trip through dump().
+  constexpr int kDepth = 256;
+  std::string text;
+  for (int i = 0; i < kDepth; ++i) text += "[";
+  text += "42";
+  for (int i = 0; i < kDepth; ++i) text += "]";
+  std::string err;
+  JsonValue v = json_parse(text, &err);
+  ASSERT_TRUE(err.empty()) << err;
+  const JsonValue* cur = &v;
+  for (int i = 0; i < kDepth; ++i) {
+    ASSERT_TRUE(cur->is_array()) << i;
+    ASSERT_EQ(cur->size(), 1u) << i;
+    cur = &cur->items()[0];
+  }
+  EXPECT_EQ(cur->as_int(), 42);
+  EXPECT_EQ(json_parse(v.dump(), &err).dump(), text);
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(Json, ParseRejectsTrailingGarbage) {
+  for (const char* bad : {"{} x", "1 2", "null,", "[1] [2]", "true}"}) {
+    std::string err;
+    JsonValue v = json_parse(bad, &err);
+    EXPECT_TRUE(v.is_null()) << bad;
+    EXPECT_NE(err.find("trailing"), std::string::npos) << bad << ": " << err;
+  }
+  // Trailing whitespace is not garbage.
+  std::string err;
+  EXPECT_EQ(json_parse("  7  \n\t", &err).as_int(), 7);
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST(Json, ParseRejectsMalformedStringsAndEscapes) {
+  for (const char* bad :
+       {"\"unterminated",       // EOF inside string
+        "\"dangling\\",         // escape at EOF
+        "\"bad \\x escape\"",   // unknown escape letter
+        "\"\\u12\"",            // truncated \u
+        "\"\\uZZZZ\"",          // non-hex \u
+        "\"raw \n newline\"",   // unescaped control character
+        "[1,", "{\"a\":", "{\"a\"}", "{:1}", "-", "+1", "tru", "nul",
+        "'single'"}) {
+    std::string err;
+    JsonValue v = json_parse(bad, &err);
+    EXPECT_TRUE(v.is_null()) << bad;
+    EXPECT_FALSE(err.empty()) << bad;
+  }
+  // Error messages carry a byte offset so exporter bugs are locatable.
+  std::string err;
+  (void)json_parse("{\"a\": tru}", &err);
+  EXPECT_NE(err.find("offset"), std::string::npos) << err;
 }
 
 TEST(Json, WriteFileRoundTripAndFailure) {

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Documentation consistency gate.
 
-Two checks, run over README.md and docs/*.md:
+Three checks, run over README.md and docs/*.md:
 
 1. Relative markdown links must resolve to an existing file or directory
    (anchors and external http(s)/mailto links are skipped).
@@ -10,6 +10,14 @@ Two checks, run over README.md and docs/*.md:
    TESSERACT_* string literals in src/ (the variables the code actually
    reads). A variable documented but never read, or read but never
    documented, fails the build.
+3. Metric names must be documented and real, both directions. Source ground
+   truth is (a) quoted literals shaped like metric names (runtime.*, comm.*,
+   layer.*, ...) and (b) `// metric: <name>` annotations next to sites that
+   assemble names at runtime; annotations may use `<placeholder>` segments.
+   Doc ground truth is backtick code spans shaped like metric names, which
+   may use `<placeholder>` segments and `{a,b}` alternation to document a
+   family in one row. Every source metric must match a documented token, and
+   every documented token must correspond to a real source metric.
 
 Exit status 0 = clean, 1 = findings (each printed as file:line: message).
 """
@@ -27,6 +35,112 @@ ENV_RE = re.compile(r"TESSERACT_[A-Z0-9_]+")
 # The code's ground truth: quoted literals only, so CMake variables and
 # prose prefixes like "TESSERACT_FAULT_" in comments do not count.
 SRC_ENV_RE = re.compile(r'"(TESSERACT_[A-Z0-9_]+)"')
+
+# ---- Metric-name cross-check ------------------------------------------------
+# Name shapes the instrumentation uses (see docs/observability.md). A final
+# [a-z0-9_] excludes partial prefixes like the "comm." literal the
+# communicator concatenates from.
+METRIC_PREFIX = r"(?:runtime|comm|layer|fault|sim|train|pipeline)"
+SRC_METRIC_RE = re.compile(rf'"({METRIC_PREFIX}\.[a-z0-9_.]*[a-z0-9_])"')
+# Sites that assemble a metric name at runtime declare the family next to the
+# code: `// metric: comm.<op>.sim_seconds`.
+ANNOTATION_RE = re.compile(
+    rf"//\s*metric:\s*({METRIC_PREFIX}\.[a-z0-9_.<>]*[a-z0-9_>])\s*$"
+)
+CODE_SPAN_RE = re.compile(r"`([^`]+)`")
+DOC_METRIC_RE = re.compile(rf"{METRIC_PREFIX}\.[a-z0-9_.<>{{}},]*[a-z0-9_>}}]")
+# Backticked file names (fault.hpp) and span names are not metric names.
+NON_METRIC_SUFFIXES = (".hpp", ".cpp", ".md", ".py", ".json", ".txt", ".html")
+
+
+def expand_braces(token: str):
+    """Expands `{a,b}` alternation: one doc row covers a family of names."""
+    m = re.search(r"\{([^{}]*)\}", token)
+    if not m:
+        return [token]
+    out = []
+    for alt in m.group(1).split(","):
+        out += expand_braces(token[: m.start()] + alt + token[m.end() :])
+    return out
+
+
+def token_regex(token: str) -> "re.Pattern":
+    """Compiles a doc/annotation token: `<placeholder>` matches one segment."""
+    pattern = "".join(
+        "[a-z0-9_]+" if part.startswith("<") else re.escape(part)
+        for part in re.split(r"(<[a-z0-9_]+>)", token)
+    )
+    return re.compile(pattern + r"\Z")
+
+
+def metrics_in_src():
+    """(literals, annotations): each maps name -> first (file, line)."""
+    literals, annotations = {}, {}
+    for src in sorted((REPO / "src").rglob("*")):
+        if src.suffix not in (".cpp", ".hpp"):
+            continue
+        for lineno, line in enumerate(src.read_text().splitlines(), start=1):
+            for m in ANNOTATION_RE.finditer(line):
+                annotations.setdefault(m.group(1), (src, lineno))
+            if "//" in line and "metric:" in line:
+                continue  # annotation or prose comment, not a recording site
+            for name in SRC_METRIC_RE.findall(line):
+                if not name.endswith(NON_METRIC_SUFFIXES):
+                    literals.setdefault(name, (src, lineno))
+    return literals, annotations
+
+
+def metrics_in_docs():
+    """Backtick code spans shaped like metric names -> first (file, line)."""
+    found = {}
+    for md in markdown_files():
+        for lineno, line in enumerate(md.read_text().splitlines(), start=1):
+            for span in CODE_SPAN_RE.findall(line):
+                if not DOC_METRIC_RE.fullmatch(span):
+                    continue
+                if span.endswith(NON_METRIC_SUFFIXES):
+                    continue
+                for token in expand_braces(span):
+                    found.setdefault(token, (md, lineno))
+    return found
+
+
+def check_metrics(errors: list):
+    literals, annotations = metrics_in_src()
+    doc_tokens = metrics_in_docs()
+    doc_patterns = {tok: token_regex(tok) for tok in doc_tokens}
+
+    # Source -> docs: every recorded name must match some documented token.
+    for name in sorted(literals):
+        if any(p.fullmatch(name) for p in doc_patterns.values()):
+            continue
+        src, lineno = literals[name]
+        errors.append(
+            f"{src.relative_to(REPO)}:{lineno}: metric {name} is recorded "
+            f"but not documented in README.md or docs/"
+        )
+    # Annotated families must be documented verbatim (same placeholder form).
+    for name in sorted(set(annotations) - set(doc_tokens)):
+        src, lineno = annotations[name]
+        errors.append(
+            f"{src.relative_to(REPO)}:{lineno}: metric family {name} is "
+            f"annotated in source but not documented verbatim in docs"
+        )
+    # Docs -> source: every documented token must name something real —
+    # a recorded literal (possibly via placeholders) or an annotated family.
+    annotation_patterns = [token_regex(a) for a in annotations]
+    for token in sorted(doc_tokens):
+        if token in annotations:
+            continue
+        if any(p.fullmatch(token) for p in annotation_patterns):
+            continue
+        if any(doc_patterns[token].fullmatch(name) for name in literals):
+            continue
+        md, lineno = doc_tokens[token]
+        errors.append(
+            f"{md.relative_to(REPO)}:{lineno}: metric {token} is documented "
+            f"but never recorded by the code"
+        )
 
 
 def markdown_files():
@@ -83,6 +197,8 @@ def main() -> int:
     for md in mds:
         check_links(md, errors)
 
+    check_metrics(errors)
+
     docs_env = env_vars_in_docs()
     src_env = env_vars_in_src()
     for var in sorted(set(docs_env) - set(src_env)):
@@ -101,9 +217,11 @@ def main() -> int:
     for e in errors:
         print(e)
     if not errors:
+        literals, annotations = metrics_in_src()
         print(
             f"docs check clean: {len(mds)} markdown files, "
-            f"{len(src_env)} environment variables cross-checked"
+            f"{len(src_env)} environment variables and "
+            f"{len(literals) + len(annotations)} metric names cross-checked"
         )
     return 1 if errors else 0
 
