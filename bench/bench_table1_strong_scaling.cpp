@@ -10,9 +10,15 @@
 #include <iostream>
 #include <vector>
 
+#include "comm/communicator.hpp"
+#include "obs/expect.hpp"
+#include "obs/live.hpp"
+#include "pdgemm/block.hpp"
 #include "perf/cost_model.hpp"
 #include "perf/export.hpp"
 #include "perf/report.hpp"
+#include "perf/run_report.hpp"
+#include "perf/trace.hpp"
 
 using namespace tsr;
 
@@ -104,6 +110,47 @@ int main() {
     std::printf("\nwrote %s\n", out);
   } else {
     std::fprintf(stderr, "failed to write %s\n", out);
+  }
+
+  // Instrumented replay of the representative Tesseract [2,2,2] row with the
+  // full observability stack on: run report, live timeline and the
+  // cost-model expectation monitor. The monitor's profile comes from the
+  // same cost model that produced the row, so a healthy replay must emit
+  // zero drift events — CI gates on exactly that.
+  {
+    const perf::EvalConfig cfg{.scheme = perf::Scheme::Tesseract,
+                               .q = 2,
+                               .d = 2,
+                               .dims = dims(12),
+                               .layers = kLayers};
+    const obs::ExpectationProfile profile =
+        perf::expectation_from_cost_model(cfg);
+    comm::World world(cfg.total_ranks(), cfg.spec);
+    world.enable_tracing();
+    world.enable_metrics();
+    obs::LiveConfig lc;
+    lc.interval = profile.makespan / 64.0;  // ~64 windows over the replay
+    lc.label = "table1";
+    lc.path = "TIMELINE_table1.json";
+    world.enable_live(lc);
+    obs::ExpectationMonitor monitor(profile, obs::DriftConfig{}, world.size());
+    world.live()->set_monitor(&monitor);
+    world.run([&](comm::Communicator& c) {
+      pdg::TesseractComms tc = pdg::TesseractComms::create(c, cfg.q, cfg.d);
+      for (int l = 0; l < cfg.layers; ++l) {
+        perf::phantom_tesseract_forward(tc, cfg.dims);
+        perf::phantom_tesseract_backward(tc, cfg.dims);
+      }
+    });
+    world.finish_live();
+    if (perf::write_run_report(world, "table1")) {
+      std::printf("wrote REPORT_table1.{json,html} and TIMELINE_table1.json "
+                  "(windows=%lld, drift_events=%lld)\n",
+                  static_cast<long long>(world.live()->windows_flushed()),
+                  static_cast<long long>(world.live()->drift_events().size()));
+    } else {
+      std::fprintf(stderr, "failed to write REPORT_table1.{json,html}\n");
+    }
   }
   return 0;
 }

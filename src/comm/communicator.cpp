@@ -111,7 +111,7 @@ const char* span_kind_name(SpanKind kind) {
 }
 
 World::World(int nranks, topo::MachineSpec spec)
-    : nranks_(nranks), spec_(spec) {
+    : nranks_(nranks), spec_(spec), metrics_(nranks) {
   check(nranks >= 1, "World: nranks must be >= 1");
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
@@ -133,6 +133,7 @@ World::~World() = default;
 
 void World::install_fault_plan(const fault::FaultPlan& plan) {
   if (plan.empty()) return;  // byte-identity guarantee: nothing installed
+  fault::note_installed_plan(plan);  // envelope stamp for exported reports
   injector_ = std::make_unique<fault::Injector>(plan, this);
   for (const fault::SlowRankSpec& s : plan.slow_ranks) {
     for (int r = 0; r < nranks_; ++r) {
@@ -310,6 +311,19 @@ void World::poison(const std::string& why) {
   for (auto& mb : mailboxes_) mb->poison(why);
 }
 
+void World::enable_live(obs::LiveConfig cfg) {
+  // The header states exactly which experiment the timeline watched: the
+  // installed plan's fingerprint, not the process-global sticky one (which
+  // could belong to an earlier World in the same process).
+  cfg.fault_plan =
+      injector_ != nullptr ? fault::plan_fingerprint(injector_->plan()) : "none";
+  live_ = std::make_unique<obs::LiveSampler>(std::move(cfg), nranks_);
+}
+
+void World::finish_live() {
+  if (live_ != nullptr) live_->finish(metrics_enabled_ ? &metrics_ : nullptr);
+}
+
 void World::run(const std::function<void(Communicator&)>& fn) {
   // Distinguish the originating failure from the secondary "poisoned"
   // unwinds of peers blocked in collectives, so the caller sees the cause.
@@ -319,9 +333,11 @@ void World::run(const std::function<void(Communicator&)>& fn) {
       metrics_enabled_ ? rt::scheduler_stats() : rt::SchedulerStats{};
   rt::run_spmd(nranks_, [&](int r) {
     Communicator c = comm(r);
+    bool killed = false;
     try {
       fn(c);
     } catch (const fault::RankKilled& e) {
+      killed = true;
       // Injected kill: record the death and post the structured failure so
       // every survivor's next receive throws PeerFailure with the same
       // dead-rank set (instead of hanging or tripping the watchdog). The
@@ -347,6 +363,15 @@ void World::run(const std::function<void(Communicator&)>& fn) {
     } catch (...) {
       primary[static_cast<std::size_t>(r)] = std::current_exception();
       poison("rank " + std::to_string(r) + " failed");
+    }
+    if (live_ != nullptr) {
+      // Retire the rank from the sampler so pending windows can complete
+      // (a killed rank's final sample is flagged dead and carried forward).
+      if (killed) {
+        live_->mark_rank_dead(r);
+      } else {
+        live_->rank_done(r, clocks_[static_cast<std::size_t>(r)].now());
+      }
     }
   });
   if (injector_ != nullptr && injector_->has_duplicates()) {
@@ -483,9 +508,18 @@ void Communicator::send_msg(int dst_grank, std::uint64_t tag,
       dup.arrival_time = clock().now() + params.alpha;
     }
     stats().record_msg(wire_bytes, link == topo::LinkType::InterNode);
+    if (obs::LiveSampler* live = world_->live()) {
+      // The injected retransmission serialized on this NIC too: two messages
+      // left the rank, mirroring the two record_msg calls above.
+      live->on_send(src_w, clock().now(), wire_bytes);
+      live->on_send(src_w, clock().now(), wire_bytes);
+    }
     world_->mailbox(dst_w).push(std::move(m));
     world_->mailbox(dst_w).push(std::move(dup));
     return;
+  }
+  if (obs::LiveSampler* live = world_->live()) {
+    live->on_send(src_w, clock().now(), wire_bytes);
   }
   world_->mailbox(dst_w).push(std::move(m));
 }
@@ -518,6 +552,9 @@ Message Communicator::recv_msg(int src_grank, std::uint64_t tag) {
     obs::Registry& reg = world_->metrics();
     reg.histogram_observe("comm.recv.wait_sim_seconds", clock().now() - before);
     reg.counter_add("comm.recv.blocked");
+  }
+  if (obs::LiveSampler* live = world_->live()) {
+    live->on_recv(world_rank(), before, clock().now());
   }
   return m;
 }

@@ -27,6 +27,7 @@
 #include "comm/buffer_pool.hpp"
 #include "comm/mailbox.hpp"
 #include "comm/stats.hpp"
+#include "obs/live.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/sim_clock.hpp"
 #include "tensor/tensor.hpp"
@@ -191,6 +192,26 @@ class World {
   obs::Registry& metrics() { return metrics_; }
   const obs::Registry& metrics() const { return metrics_; }
 
+  // ---- Live telemetry -------------------------------------------------------
+  // An attached LiveSampler watches the run online: collectives, charged
+  // kernels, sends and receives report to it from the rank threads, and the
+  // sampler streams completed windows to a TIMELINE file (see obs/live.hpp).
+  // Like tracing and metrics, hooks cost one branch when disabled and never
+  // change the simulated results.
+
+  /// Attaches a live sampler. cfg.fault_plan is overwritten with the
+  /// fingerprint of the installed fault plan ("none" without one), so the
+  /// TIMELINE header always states the experiment it watched. Call before
+  /// run(); replaces any previous sampler.
+  void enable_live(obs::LiveConfig cfg);
+  obs::LiveSampler* live() { return live_.get(); }
+  const obs::LiveSampler* live() const { return live_.get(); }
+  /// Completes pending windows, writes the TIMELINE summary line and closes
+  /// the stream; records the runtime.live.* / obs.expect.* counters into the
+  /// metrics registry when metrics are enabled. Idempotent; the sampler
+  /// stays readable (ring, drift events) afterwards.
+  void finish_live();
+
   /// Runs fn on every rank via the SPMD cluster; if a rank throws, the world
   /// is poisoned so peers blocked in collectives unwind, and the original
   /// exception is rethrown.
@@ -211,6 +232,7 @@ class World {
   std::atomic<std::uint64_t> flow_counter_{0};
   obs::Registry metrics_;
   std::unique_ptr<fault::Injector> injector_;
+  std::unique_ptr<obs::LiveSampler> live_;
 };
 
 /// A rank's handle on an ordered process group.
@@ -335,6 +357,9 @@ class Communicator {
         const std::string key = std::string("comm.") + name;
         reg.histogram_observe(key + ".sim_seconds", c->clock().now() - t0);
         if (bytes > 0) reg.counter_add(key + ".bytes", bytes);
+      }
+      if (obs::LiveSampler* live = c->world_->live()) {
+        live->on_collective(c->world_rank(), t0, c->clock().now());
       }
     }
   };

@@ -1,7 +1,9 @@
 #include "fault/fault.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 
 namespace tsr::fault {
@@ -278,6 +280,41 @@ FaultPlan FaultPlan::from_json_text(const std::string& text,
     return FaultPlan{};
   }
   return from_json(root, error);
+}
+
+// ---- Fingerprint ------------------------------------------------------------
+
+namespace {
+
+std::mutex g_fingerprint_mu;
+std::string g_active_fingerprint = "none";  // guarded by g_fingerprint_mu
+
+}  // namespace
+
+std::string plan_fingerprint(const FaultPlan& plan) {
+  if (plan.empty()) return "none";
+  const std::string text = plan.to_json().dump();
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a 64
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return std::string(buf);
+}
+
+void note_installed_plan(const FaultPlan& plan) {
+  if (plan.empty()) return;
+  const std::string fp = plan_fingerprint(plan);
+  std::lock_guard<std::mutex> lock(g_fingerprint_mu);
+  g_active_fingerprint = fp;
+}
+
+std::string active_plan_fingerprint() {
+  std::lock_guard<std::mutex> lock(g_fingerprint_mu);
+  return g_active_fingerprint;
 }
 
 // ---- Environment ------------------------------------------------------------

@@ -172,6 +172,24 @@ struct FaultPlan {
                                   std::string* error = nullptr);
 };
 
+/// Stable fingerprint of a plan: "none" for an empty plan, else 16 hex
+/// digits hashing the canonical JSON serialization (FNV-1a 64). Two plans
+/// fingerprint equal iff their JSON round-trips are byte-identical, so the
+/// run-report envelope can stamp which fault experiment produced a document
+/// and diffs of runs under different plans fail loudly instead of reading
+/// as mysterious numeric drift.
+std::string plan_fingerprint(const FaultPlan& plan);
+
+/// Process-wide fingerprint of the most recently installed (non-empty)
+/// fault plan, "none" until one is installed. World::install_fault_plan
+/// records it; perf::stamp_envelope reads it so every exported document
+/// carries the active experiment. Sticky by design: reports are typically
+/// built right after the instrumented run, and a stale value still names a
+/// *different* plan than a clean run would, which is exactly the mismatch
+/// the envelope exists to expose.
+void note_installed_plan(const FaultPlan& plan);
+std::string active_plan_fingerprint();
+
 /// Builds a plan from the TESSERACT_FAULT_* environment. Returns an empty
 /// plan when no fault variable is set. TESSERACT_FAULT_PLAN wins when
 /// present: its value is inline JSON (if it starts with '{') or a path to a

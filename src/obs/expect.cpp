@@ -1,0 +1,243 @@
+#include "obs/expect.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+
+namespace tsr::obs {
+
+namespace {
+
+bool ends_with(const std::string& s, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+// Median over a scratch copy; deterministic (values are sim-domain doubles).
+double median_of(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  return n % 2 == 1 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+}  // namespace
+
+ExpectationProfile ExpectationProfile::from_snapshot(const Snapshot& snap,
+                                                     double makespan,
+                                                     int nranks) {
+  ExpectationProfile p;
+  if (!(makespan > 0.0) || nranks <= 0) return p;
+  p.makespan = makespan;
+  // "Ops" below must mirror what the sampler counts: one per completed
+  // collective span (comm.*.sim_seconds histogram samples) plus one per
+  // charged kernel (sim.*.sim_seconds histogram samples).
+  std::int64_t ops = 0;
+  double busy_seconds = 0.0;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!ends_with(name, ".sim_seconds")) continue;
+    if (name.rfind("comm.recv.", 0) == 0) continue;  // wait, not an op
+    if (name.rfind("comm.", 0) == 0 || name.rfind("sim.", 0) == 0) {
+      ops += h.count;
+      busy_seconds += h.sum;
+    }
+  }
+  double wait_seconds = 0.0;
+  const auto wait_it = snap.histograms.find("comm.recv.wait_sim_seconds");
+  if (wait_it != snap.histograms.end()) wait_seconds = wait_it->second.sum;
+  const double rank_seconds = makespan * static_cast<double>(nranks);
+  p.ops_per_second = static_cast<double>(ops) / makespan;
+  // busy_seconds counts collective spans *including* their blocked waits;
+  // subtract the wait share so busy matches the sampler's compute + wire.
+  p.busy_fraction =
+      std::clamp((busy_seconds - wait_seconds) / rank_seconds, 0.0, 1.0);
+  p.wait_fraction = std::clamp(wait_seconds / rank_seconds, 0.0, 1.0);
+  return p;
+}
+
+JsonValue ExpectationProfile::to_json() const {
+  JsonValue j = JsonValue::object();
+  j["makespan"] = makespan;
+  j["ops_per_second"] = ops_per_second;
+  j["busy_fraction"] = busy_fraction;
+  j["wait_fraction"] = wait_fraction;
+  return j;
+}
+
+const char* DriftEvent::type_name(Type t) {
+  switch (t) {
+    case Type::RankSlowdown:
+      return "rank_slowdown";
+    case Type::RankStalled:
+      return "rank_stalled";
+    case Type::RankDead:
+      return "rank_dead";
+    case Type::BehindExpectation:
+      return "behind_expectation";
+    case Type::LinkDegraded:
+      return "link_degraded";
+  }
+  return "?";
+}
+
+JsonValue DriftEvent::to_json() const {
+  JsonValue j = JsonValue::object();
+  j["type"] = type_name(type);
+  j["window"] = static_cast<std::int64_t>(window);
+  j["rank"] = static_cast<std::int64_t>(rank);
+  j["factor"] = factor;
+  return j;
+}
+
+ExpectationMonitor::ExpectationMonitor(ExpectationProfile profile,
+                                       DriftConfig cfg, int nranks)
+    : profile_(profile), cfg_(cfg) {
+  ranks_.resize(static_cast<std::size_t>(nranks > 0 ? nranks : 0));
+}
+
+std::vector<DriftEvent> ExpectationMonitor::on_window(const WindowSnapshot& cur,
+                                                      double interval) {
+  std::vector<DriftEvent> events;
+  const int n = static_cast<int>(ranks_.size());
+  if (n == 0 || static_cast<int>(cur.ranks.size()) != n) return events;
+  windows_checked_ += 1;
+
+  const auto emit = [&](DriftEvent::Type type, int rank, double factor) {
+    DriftEvent e;
+    e.type = type;
+    e.window = cur.window;
+    e.rank = rank;
+    e.factor = factor;
+    events.push_back(e);
+    events_emitted_ += 1;
+  };
+
+  // Cumulative busy time per rank plus per-window ops deltas. Stragglers are
+  // detected on the CUMULATIVE values: SPMD phases alternate which ranks are
+  // busy inside any single window, so per-window ratios are wildly noisy,
+  // while cumulative busy converges fast — a `scale`x straggler's clock
+  // advances scale-fold per unit of charged work, so its cumulative busy
+  // settles at ~scale times the healthy median within a handful of windows.
+  // (Sim-clock *lag* carries no signal at all: collectives equalize clocks
+  // across ranks via arrival-time drags.) Stalls keep the per-window deltas:
+  // a silent stall is precisely "no new ops while peers complete theirs".
+  std::vector<double> busy(static_cast<std::size_t>(n), 0.0);
+  std::vector<std::int64_t> dops(static_cast<std::size_t>(n), 0);
+  double wait_total = 0.0;
+  std::int64_t ops_total = 0;
+  int live = 0;
+  for (int r = 0; r < n; ++r) {
+    RankState& st = ranks_[static_cast<std::size_t>(r)];
+    const RankSample& s = cur.ranks[static_cast<std::size_t>(r)];
+    const RankSample prev = st.have_prev ? st.prev : RankSample{};
+    busy[static_cast<std::size_t>(r)] = s.compute_s + s.wire_s;
+    dops[static_cast<std::size_t>(r)] = s.ops - prev.ops;
+    wait_total += s.wait_s;
+    ops_total += s.ops;
+    if (!s.dead) live += 1;
+    if (s.dead && !st.dead_latched) {
+      st.dead_latched = true;
+      emit(DriftEvent::Type::RankDead, r, 0.0);
+    }
+    st.prev = s;
+    st.have_prev = true;
+  }
+
+  // Cluster median cumulative busy time of live ranks: the peer-relative
+  // baseline for the straggler check.
+  std::vector<double> live_busy;
+  live_busy.reserve(static_cast<std::size_t>(live));
+  std::vector<std::int64_t> live_ops;
+  live_ops.reserve(static_cast<std::size_t>(live));
+  for (int r = 0; r < n; ++r) {
+    if (cur.ranks[static_cast<std::size_t>(r)].dead) continue;
+    live_busy.push_back(busy[static_cast<std::size_t>(r)]);
+    live_ops.push_back(dops[static_cast<std::size_t>(r)]);
+  }
+  const double med_busy = median_of(live_busy);
+  std::int64_t med_ops = 0;
+  if (!live_ops.empty()) {
+    std::sort(live_ops.begin(), live_ops.end());
+    med_ops = live_ops[live_ops.size() / 2];
+  }
+
+  bool any_slow_streak = false;
+  for (int r = 0; r < n; ++r) {
+    RankState& st = ranks_[static_cast<std::size_t>(r)];
+    const RankSample& s = cur.ranks[static_cast<std::size_t>(r)];
+    if (s.dead) {
+      st.slow_streak = 0;
+      st.stall_streak = 0;
+      continue;
+    }
+    // Straggler: confirmed cumulative-busy excess over the median.
+    const double b = busy[static_cast<std::size_t>(r)];
+    if (med_busy > 0.0 && b >= cfg_.straggler_ratio * med_busy) {
+      st.slow_streak += 1;
+    } else {
+      // The streak resets but the latch is permanent: cumulative ratios
+      // oscillate around the threshold while converging, and one verdict
+      // per rank is the contract.
+      st.slow_streak = 0;
+    }
+    if (st.slow_streak >= cfg_.confirm_windows) any_slow_streak = true;
+    if (st.slow_streak >= cfg_.confirm_windows && !st.slow_latched) {
+      st.slow_latched = true;
+      emit(DriftEvent::Type::RankSlowdown, r, b / med_busy);
+    }
+    // Silent stall: zero ops while the median rank keeps completing them.
+    if (dops[static_cast<std::size_t>(r)] == 0 && med_ops > 0) {
+      st.stall_streak += 1;
+    } else {
+      st.stall_streak = 0;
+      st.stall_latched = false;
+    }
+    if (st.stall_streak >= cfg_.stall_windows && !st.stall_latched) {
+      st.stall_latched = true;
+      stall_flags_ += 1;
+      emit(DriftEvent::Type::RankStalled, r, 0.0);
+    }
+  }
+
+  // Profile-relative checks (need a cost-model prediction). Also on
+  // cumulative values for the same phase-noise reason.
+  if (profile_.valid() && interval > 0.0 && live > 0) {
+    const double t_end = static_cast<double>(cur.window + 1) * interval;
+    const double expected_ops =
+        profile_.ops_per_second * t_end *
+        (static_cast<double>(live) / static_cast<double>(n));
+    const double observed_ops = static_cast<double>(ops_total);
+    if (expected_ops > 0.0 &&
+        observed_ops * cfg_.rate_tolerance < expected_ops) {
+      behind_streak_ += 1;
+    } else {
+      behind_streak_ = 0;
+      behind_latched_ = false;
+    }
+    if (behind_streak_ >= cfg_.confirm_windows && !behind_latched_) {
+      behind_latched_ = true;
+      emit(DriftEvent::Type::BehindExpectation, -1,
+           observed_ops > 0.0 ? expected_ops / observed_ops : 0.0);
+    }
+    // Degraded link: the cluster waits far more than predicted while no
+    // rank looks like a compute straggler — the excess points at the wire.
+    const double wait_share =
+        wait_total / (t_end * static_cast<double>(live));
+    const double predicted = profile_.wait_fraction;
+    const double floor = 0.05;  // ignore wait inflation below 5% of a window
+    if (!any_slow_streak && wait_share > floor &&
+        wait_share > cfg_.wait_inflation * predicted) {
+      if (!link_latched_) {
+        link_latched_ = true;
+        emit(DriftEvent::Type::LinkDegraded, -1,
+             predicted > 0.0 ? wait_share / predicted : wait_share / floor);
+      }
+    } else if (wait_share <= cfg_.wait_inflation * predicted) {
+      link_latched_ = false;
+    }
+  }
+  return events;
+}
+
+}  // namespace tsr::obs

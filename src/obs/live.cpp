@@ -1,0 +1,298 @@
+#include "obs/live.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/expect.hpp"
+#include "obs/memory.hpp"
+#include "obs/metrics.hpp"
+
+namespace tsr::obs {
+
+JsonValue window_to_json(const WindowSnapshot& w) {
+  JsonValue j = JsonValue::object();
+  j["w"] = static_cast<std::int64_t>(w.window);
+  JsonValue ranks = JsonValue::array();
+  for (const RankSample& s : w.ranks) {
+    JsonValue r = JsonValue::object();
+    r["t"] = s.t;
+    r["ops"] = s.ops;
+    r["msgs"] = s.msgs;
+    r["bytes"] = s.bytes;
+    r["compute_s"] = s.compute_s;
+    r["wire_s"] = s.wire_s;
+    r["wait_s"] = s.wait_s;
+    r["live_bytes"] = s.live_bytes;
+    if (s.dead) r["dead"] = true;
+    ranks.push_back(std::move(r));
+  }
+  j["ranks"] = std::move(ranks);
+  return j;
+}
+
+LiveSampler::LiveSampler(LiveConfig cfg, int nranks)
+    : cfg_(std::move(cfg)), nranks_(nranks) {
+  if (!(cfg_.interval > 0.0)) cfg_.interval = 1e-3;
+  if (cfg_.ring_windows < 1) cfg_.ring_windows = 1;
+  progress_.resize(static_cast<std::size_t>(nranks_));
+  last_flushed_.resize(static_cast<std::size_t>(nranks_));
+  if (!cfg_.path.empty()) {
+    out_ = std::make_unique<std::ofstream>(cfg_.path);
+    if (!*out_) {
+      out_.reset();  // sampling still works; only streaming is lost
+    } else {
+      // Header line. Deliberately NO backend/workers/host fields: the file
+      // must be byte-identical across scheduler backends, and those describe
+      // the host, not the simulated run. The fault-plan fingerprint IS
+      // simulated-run identity, so it stays — timelines of different fault
+      // experiments must never compare clean.
+      JsonValue h = JsonValue::object();
+      h["kind"] = "timeline";
+      h["schema_version"] = kTimelineSchemaVersion;
+      h["label"] = cfg_.label;
+      h["interval"] = cfg_.interval;
+      h["nranks"] = static_cast<std::int64_t>(nranks_);
+      h["fault_plan"] = cfg_.fault_plan;
+      *out_ << h.dump() << '\n';
+    }
+  }
+}
+
+LiveSampler::~LiveSampler() { finish(nullptr); }
+
+RankSample LiveSampler::sample_of(const RankProgress& p) const {
+  RankSample s;
+  s.t = p.t;
+  s.ops = p.ops;
+  s.msgs = p.msgs;
+  s.bytes = p.bytes;
+  s.compute_s = p.compute_s;
+  s.wire_s = p.wire_s;
+  s.wait_s = p.wait_s;
+  s.live_bytes = rank_live_tensor_bytes(static_cast<int>(&p - progress_.data()));
+  s.dead = p.dead;
+  return s;
+}
+
+void LiveSampler::cross_locked(int rank, double t) {
+  RankProgress& p = progress_[static_cast<std::size_t>(rank)];
+  while (t >= static_cast<double>(p.next_window + 1) * cfg_.interval) {
+    const int w = p.next_window;
+    if (w >= first_pending_) {
+      while (first_pending_ + static_cast<int>(pending_.size()) <= w) {
+        PendingWindow pw;
+        pw.window = first_pending_ + static_cast<int>(pending_.size());
+        pw.ranks.resize(static_cast<std::size_t>(nranks_));
+        pw.have.assign(static_cast<std::size_t>(nranks_), false);
+        pending_.push_back(std::move(pw));
+      }
+      PendingWindow& pw = pending_[static_cast<std::size_t>(w - first_pending_)];
+      if (!pw.have[static_cast<std::size_t>(rank)]) {
+        pw.ranks[static_cast<std::size_t>(rank)] = sample_of(p);
+        pw.have[static_cast<std::size_t>(rank)] = true;
+        pw.have_count += 1;
+        samples_ += 1;
+      }
+    }
+    p.next_window += 1;
+  }
+}
+
+void LiveSampler::flush_complete_locked() {
+  for (;;) {
+    if (pending_.empty()) return;
+    PendingWindow& front = pending_.front();
+    bool complete = true;
+    for (int r = 0; r < nranks_; ++r) {
+      if (front.have[static_cast<std::size_t>(r)]) continue;
+      if (!progress_[static_cast<std::size_t>(r)].done) {
+        complete = false;
+        break;
+      }
+    }
+    if (!complete) return;
+    PendingWindow w = std::move(front);
+    pending_.pop_front();
+    first_pending_ += 1;
+    emit_locked(std::move(w));
+  }
+}
+
+void LiveSampler::emit_locked(PendingWindow&& w) {
+  WindowSnapshot snap;
+  snap.window = w.window;
+  snap.ranks.resize(static_cast<std::size_t>(nranks_));
+  for (int r = 0; r < nranks_; ++r) {
+    const std::size_t i = static_cast<std::size_t>(r);
+    if (w.have[i]) {
+      snap.ranks[i] = w.ranks[i];
+      last_flushed_[i] = w.ranks[i];
+    } else {
+      // Rank finished (or died) before this window ended: its final
+      // counters carry forward so every window has all ranks.
+      snap.ranks[i] = sample_of(progress_[i]);
+      last_flushed_[i] = snap.ranks[i];
+    }
+  }
+  if (out_ != nullptr) *out_ << window_to_json(snap).dump() << '\n';
+  if (monitor_ != nullptr) {
+    std::vector<DriftEvent> events = monitor_->on_window(snap, cfg_.interval);
+    for (DriftEvent& e : events) {
+      if (out_ != nullptr) {
+        JsonValue line = JsonValue::object();
+        line["drift"] = e.to_json();
+        *out_ << line.dump() << '\n';
+      }
+      drift_.push_back(std::move(e));
+    }
+  }
+  ring_.push_back(std::move(snap));
+  while (static_cast<int>(ring_.size()) > cfg_.ring_windows) {
+    ring_.pop_front();
+    evictions_ += 1;
+  }
+  flushed_ += 1;
+}
+
+void LiveSampler::on_compute(int rank, double t0, double t1) {
+  RankProgress& p = progress_[static_cast<std::size_t>(rank)];
+  p.compute_s += t1 - t0;
+  p.ops += 1;
+  p.t = t1;
+  if (t1 >= static_cast<double>(p.next_window + 1) * cfg_.interval) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cross_locked(rank, t1);
+    flush_complete_locked();
+  }
+}
+
+void LiveSampler::on_collective(int rank, double t0, double t1) {
+  RankProgress& p = progress_[static_cast<std::size_t>(rank)];
+  // The span includes the time its receives sat blocked (reported through
+  // on_recv); wire time is the remainder. Accounting per completed span —
+  // instead of deriving coll - wait at sample time — keeps the cumulative
+  // wire_s monotone, so per-window deltas never go negative. A blocked wait
+  // *outside* any collective (bare point-to-point traffic) is subtracted
+  // from the next span's wire share and clamped at zero: a rare, documented
+  // undercount, never an overcount.
+  const double wait_during = p.wait_s - p.wait_at_coll;
+  p.wire_s += std::max(0.0, (t1 - t0) - wait_during);
+  p.wait_at_coll = p.wait_s;
+  p.ops += 1;
+  p.t = t1;
+  if (t1 >= static_cast<double>(p.next_window + 1) * cfg_.interval) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cross_locked(rank, t1);
+    flush_complete_locked();
+  }
+}
+
+void LiveSampler::on_recv(int rank, double t0, double t1) {
+  RankProgress& p = progress_[static_cast<std::size_t>(rank)];
+  if (t1 > t0) p.wait_s += t1 - t0;
+  p.t = t1;
+  if (t1 >= static_cast<double>(p.next_window + 1) * cfg_.interval) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cross_locked(rank, t1);
+    flush_complete_locked();
+  }
+}
+
+void LiveSampler::on_send(int rank, double t, std::int64_t bytes) {
+  RankProgress& p = progress_[static_cast<std::size_t>(rank)];
+  p.msgs += 1;
+  p.bytes += bytes;
+  p.t = t;
+  if (t >= static_cast<double>(p.next_window + 1) * cfg_.interval) {
+    std::lock_guard<std::mutex> lock(mu_);
+    cross_locked(rank, t);
+    flush_complete_locked();
+  }
+}
+
+void LiveSampler::rank_done(int rank, double t) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RankProgress& p = progress_[static_cast<std::size_t>(rank)];
+  if (t > p.t) p.t = t;
+  cross_locked(rank, p.t);
+  p.done = true;
+  flush_complete_locked();
+}
+
+void LiveSampler::mark_rank_dead(int rank) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RankProgress& p = progress_[static_cast<std::size_t>(rank)];
+  cross_locked(rank, p.t);
+  p.dead = true;
+  p.done = true;
+  flush_complete_locked();
+}
+
+void LiveSampler::finish(Registry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  finished_ = true;
+  double makespan = 0.0;
+  for (int r = 0; r < nranks_; ++r) {
+    RankProgress& p = progress_[static_cast<std::size_t>(r)];
+    p.done = true;
+    makespan = std::max(makespan, p.t);
+  }
+  flush_complete_locked();
+  if (out_ != nullptr) {
+    JsonValue f = JsonValue::object();
+    JsonValue body = JsonValue::object();
+    body["windows"] = flushed_;
+    body["samples"] = samples_;
+    body["makespan"] = makespan;
+    body["drift_events"] = static_cast<std::int64_t>(drift_.size());
+    f["final"] = std::move(body);
+    *out_ << f.dump() << '\n';
+    out_.reset();  // flush + close
+  }
+  if (registry != nullptr) {
+    // metric: runtime.live.samples
+    // metric: runtime.live.windows_flushed
+    // metric: runtime.live.ring_evictions
+    registry->counter_add("runtime.live.samples", samples_);
+    registry->counter_add("runtime.live.windows_flushed", flushed_);
+    registry->counter_add("runtime.live.ring_evictions", evictions_);
+    if (monitor_ != nullptr) {
+      // metric: obs.expect.windows_checked
+      // metric: obs.expect.drift_events
+      // metric: obs.expect.stall_flags
+      registry->counter_add("obs.expect.windows_checked",
+                            monitor_->windows_checked());
+      registry->counter_add("obs.expect.drift_events",
+                            monitor_->events_emitted());
+      registry->counter_add("obs.expect.stall_flags", monitor_->stall_flags());
+    }
+  }
+}
+
+std::vector<WindowSnapshot> LiveSampler::ring() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<WindowSnapshot>(ring_.begin(), ring_.end());
+}
+
+std::vector<DriftEvent> LiveSampler::drift_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return drift_;
+}
+
+std::int64_t LiveSampler::samples_taken() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+std::int64_t LiveSampler::windows_flushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return flushed_;
+}
+
+std::int64_t LiveSampler::ring_evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+}  // namespace tsr::obs

@@ -1,0 +1,193 @@
+// Live telemetry sampler: an online, memory-bounded view of a running World.
+//
+// Everything else in the observability stack is post-mortem — traces and
+// run reports explain a run after it finished. The LiveSampler watches the
+// run *while it executes*: every rank reports its progress (ops, messages,
+// bytes, compute/wire/wait time, live tensor memory) as its SIMULATED clock
+// crosses fixed window boundaries, and each completed window — one every
+// rank has crossed — is appended to a bounded in-memory ring and streamed to
+// a TIMELINE_<label>.json file as one JSON line. Memory stays O(ring), the
+// file grows O(windows): unlike the grow-forever trace buffer, the sampler
+// can watch arbitrarily long runs.
+//
+// Determinism contract: window contents are pure functions of the simulated
+// execution. Samples are taken at sim-clock boundary crossings, never on
+// wall-clock ticks, and the flush path orders windows by index, so the same
+// seed produces a byte-identical timeline on every scheduler backend and
+// worker count. The wall-clock order in which ranks *reach* their crossings
+// varies; the emitted content does not.
+//
+// The expectation monitor (obs/expect.hpp) can be attached to receive each
+// completed window and emit structured drift events, which are written into
+// the same stream.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace tsr::obs {
+
+class Registry;
+class ExpectationMonitor;
+struct DriftEvent;
+
+/// Version stamped on every TIMELINE stream header. Distinct from the
+/// REPORT schema version: the timeline schema is shared by the streamed
+/// JSONL file and the run report's embedded timeline section.
+inline constexpr std::int64_t kTimelineSchemaVersion = 1;
+
+struct LiveConfig {
+  /// Window length in simulated seconds.
+  double interval = 1e-3;
+  /// Completed windows kept in memory (older ones survive only in the file).
+  int ring_windows = 64;
+  /// TIMELINE output path; empty disables streaming (ring only).
+  std::string path;
+  /// Label stamped into the stream header.
+  std::string label = "live";
+  /// Fault-plan fingerprint stamped into the header (World::enable_live
+  /// fills it from the installed injector; "none" without a plan).
+  std::string fault_plan = "none";
+};
+
+/// One rank's cumulative progress, sampled at its first observation at or
+/// after a window boundary. Cumulative (not per-window) so a lost line never
+/// corrupts downstream accounting; consumers difference adjacent windows.
+struct RankSample {
+  double t = 0.0;              ///< rank's sim clock at the sample
+  std::int64_t ops = 0;        ///< completed kernels + collectives
+  std::int64_t msgs = 0;       ///< wire messages sent
+  std::int64_t bytes = 0;      ///< wire bytes sent
+  double compute_s = 0.0;      ///< charged kernel sim-seconds
+  double wire_s = 0.0;         ///< collective sim-seconds not spent blocked
+  double wait_s = 0.0;         ///< blocked-receive sim-seconds
+  std::int64_t live_bytes = 0; ///< process-wide live tensor bytes at sample
+  bool dead = false;           ///< rank killed by fault injection
+};
+
+/// All ranks' samples for one completed window (index w covers simulated
+/// time [w*interval, (w+1)*interval)). Ranks that finished or died before
+/// the window's end carry their final sample forward.
+struct WindowSnapshot {
+  int window = 0;
+  std::vector<RankSample> ranks;  ///< indexed by rank
+};
+
+/// Serializes one window in the shared TIMELINE schema (used both for the
+/// streamed JSONL lines and the run report's timeline section).
+JsonValue window_to_json(const WindowSnapshot& w);
+
+class LiveSampler {
+ public:
+  LiveSampler(LiveConfig cfg, int nranks);
+  ~LiveSampler();
+
+  LiveSampler(const LiveSampler&) = delete;
+  LiveSampler& operator=(const LiveSampler&) = delete;
+
+  const LiveConfig& config() const { return cfg_; }
+  int nranks() const { return nranks_; }
+
+  /// Attach a drift monitor; it observes every completed window in order.
+  /// Must be attached before the instrumented run starts.
+  void set_monitor(ExpectationMonitor* monitor) { monitor_ = monitor; }
+
+  // ---- Rank-thread hooks ---------------------------------------------------
+  // Called by the owning rank's thread/fiber from the communicator and the
+  // kernel charge sites. The fast path (no boundary crossed) touches only
+  // this rank's own slot; boundary crossings take the flush mutex.
+
+  /// A charged compute kernel [t0, t1] completed on `rank`.
+  void on_compute(int rank, double t0, double t1);
+  /// A collective span [t0, t1] completed on `rank`. The span includes any
+  /// blocked-receive time its receives accumulated (reported separately via
+  /// on_recv), so a sample's wire_s is the span total minus the wait share.
+  void on_collective(int rank, double t0, double t1);
+  /// A receive popped on `rank`: clock moved from t0 to t1 (t1 > t0 means
+  /// the rank sat blocked until the message's arrival).
+  void on_recv(int rank, double t0, double t1);
+  /// A wire message left `rank` at sim time `t`.
+  void on_send(int rank, double t, std::int64_t bytes);
+  /// `rank`'s SPMD function returned at sim time `t`; its final counters
+  /// carry forward into every later window.
+  void rank_done(int rank, double t);
+  /// `rank` was killed by fault injection; like rank_done but flagged dead.
+  void mark_rank_dead(int rank);
+
+  // ---- Main-thread API -----------------------------------------------------
+
+  /// Completes all pending windows (every rank treated as done), writes the
+  /// final summary line and closes the stream. Idempotent. When `registry`
+  /// is non-null, records the runtime.live.* counters into it.
+  void finish(Registry* registry);
+
+  /// Completed windows still in memory (oldest first, at most ring_windows).
+  std::vector<WindowSnapshot> ring() const;
+  /// Drift events the attached monitor emitted so far.
+  std::vector<DriftEvent> drift_events() const;
+
+  std::int64_t samples_taken() const;
+  std::int64_t windows_flushed() const;
+  std::int64_t ring_evictions() const;
+
+ private:
+  // One rank's cumulative counters, written only by the owning rank thread.
+  // Padded out to a cache line so two ranks' hot counters never share one.
+  struct alignas(64) RankProgress {
+    std::int64_t ops = 0;
+    std::int64_t msgs = 0;
+    std::int64_t bytes = 0;
+    double compute_s = 0.0;
+    double wire_s = 0.0;      // collective span time minus its blocked waits
+    double wait_s = 0.0;
+    double wait_at_coll = 0.0;  // wait_s at the last collective completion
+    double t = 0.0;           // clock at the last hook
+    int next_window = 0;      // first window index not yet sampled
+    bool done = false;
+    bool dead = false;
+  };
+
+  // A window collecting samples until every live rank has crossed it.
+  struct PendingWindow {
+    int window = 0;
+    std::vector<RankSample> ranks;
+    std::vector<bool> have;
+    int have_count = 0;
+  };
+
+  RankSample sample_of(const RankProgress& p) const;
+  // Records `rank`'s crossings of every boundary at or before time `t`
+  // (mutex held by the caller).
+  void cross_locked(int rank, double t);
+  // Flushes every leading pending window all live ranks have crossed
+  // (mutex held by the caller).
+  void flush_complete_locked();
+  void emit_locked(PendingWindow&& w);
+
+  LiveConfig cfg_;
+  int nranks_;
+  ExpectationMonitor* monitor_ = nullptr;
+
+  std::vector<RankProgress> progress_;  // per rank, owner-written
+
+  mutable std::mutex mu_;
+  std::deque<PendingWindow> pending_;   // ascending window index
+  int first_pending_ = 0;               // window index of pending_.front()
+  std::vector<RankSample> last_flushed_;  // carry-forward source per rank
+  std::deque<WindowSnapshot> ring_;
+  std::vector<DriftEvent> drift_;
+  std::unique_ptr<std::ofstream> out_;
+  std::int64_t samples_ = 0;
+  std::int64_t flushed_ = 0;
+  std::int64_t evictions_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace tsr::obs

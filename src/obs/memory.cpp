@@ -2,11 +2,28 @@
 
 #include <atomic>
 
+#include "runtime/cluster.hpp"
+
 namespace tsr::obs {
 namespace {
 
 std::atomic<std::int64_t> g_live{0};
 std::atomic<std::int64_t> g_peak{0};
+
+// Per-rank attribution for the live-telemetry sampler. A rank's own counter
+// is only written from that rank's thread/fiber (allocations outside any
+// SPMD region fall through to the global gauge alone), so reading it at a
+// rank-local sampling point is deterministic — unlike the global gauge,
+// whose value at any instant depends on how far *other* ranks happen to
+// have progressed in wall time.
+constexpr int kMaxTrackedRanks = 1024;
+std::atomic<std::int64_t> g_rank_live[kMaxTrackedRanks];
+
+std::atomic<std::int64_t>* rank_slot() {
+  const int r = rt::current_spmd_rank();
+  if (r < 0 || r >= kMaxTrackedRanks) return nullptr;
+  return &g_rank_live[r];
+}
 
 }  // namespace
 
@@ -17,14 +34,25 @@ void track_tensor_alloc(std::int64_t bytes) {
   while (live > peak &&
          !g_peak.compare_exchange_weak(peak, live, std::memory_order_relaxed)) {
   }
+  if (std::atomic<std::int64_t>* slot = rank_slot()) {
+    slot->fetch_add(bytes, std::memory_order_relaxed);
+  }
 }
 
 void track_tensor_free(std::int64_t bytes) {
   g_live.fetch_sub(bytes, std::memory_order_relaxed);
+  if (std::atomic<std::int64_t>* slot = rank_slot()) {
+    slot->fetch_sub(bytes, std::memory_order_relaxed);
+  }
 }
 
 std::int64_t live_tensor_bytes() {
   return g_live.load(std::memory_order_relaxed);
+}
+
+std::int64_t rank_live_tensor_bytes(int rank) {
+  if (rank < 0 || rank >= kMaxTrackedRanks) return 0;
+  return g_rank_live[rank].load(std::memory_order_relaxed);
 }
 
 std::int64_t peak_tensor_bytes() {

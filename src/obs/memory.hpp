@@ -17,6 +17,15 @@ void track_tensor_free(std::int64_t bytes);
 
 /// Bytes of tensor storage currently alive in the process.
 std::int64_t live_tensor_bytes();
+/// Bytes of tensor storage `rank` allocated and has not yet freed (frees are
+/// attributed to the freeing rank, so a tensor handed across ranks skews
+/// both counters — rare in this codebase, where tensors stay rank-local and
+/// mailbox payloads are plain vectors outside this accounting). Written only
+/// from the owning rank's thread, which makes it deterministic at rank-local
+/// sampling points; the live-telemetry sampler reads it for that reason.
+/// Ranks outside the tracked range (or allocations outside any SPMD region)
+/// only count in the global gauge.
+std::int64_t rank_live_tensor_bytes(int rank);
 /// High-water mark of live_tensor_bytes() since process start (monotone;
 /// approximate under concurrent allocation, exact for single-threaded runs).
 std::int64_t peak_tensor_bytes();

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "runtime/cluster.hpp"
+
 namespace tsr::obs {
 
 void HistogramData::observe(double value) {
@@ -17,6 +19,23 @@ void HistogramData::observe(double value) {
   count += 1;
   sum += value;
   buckets[static_cast<std::size_t>(bucket_of(value))] += 1;
+}
+
+void HistogramData::merge_from(const HistogramData& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    min = other.min;
+    max = other.max;
+  } else {
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+  count += other.count;
+  sum += other.sum;
+  for (int i = 0; i < kBuckets; ++i) {
+    buckets[static_cast<std::size_t>(i)] +=
+        other.buckets[static_cast<std::size_t>(i)];
+  }
 }
 
 double HistogramData::quantile(double q) const {
@@ -73,41 +92,77 @@ std::string Snapshot::to_string() const {
   return os.str();
 }
 
+Registry::Registry(int ranks)
+    : shards_(static_cast<std::size_t>(ranks > 0 ? ranks : 1) + 1) {}
+
+Registry::Shard& Registry::shard_of_caller() {
+  const int nranks = static_cast<int>(shards_.size()) - 1;
+  const int r = rt::current_spmd_rank();
+  // Recordings outside any SPMD region — or from a rank of a *different*
+  // cluster nested around this registry's — fall into the external shard.
+  if (r >= 0 && r < nranks) return shards_[static_cast<std::size_t>(r)];
+  return shards_.back();
+}
+
 void Registry::counter_add(const std::string& name, std::int64_t delta) {
   std::lock_guard<std::mutex> lock(mu_);
-  counters_[name] += delta;
+  shard_of_caller().counters[name] += delta;
 }
 
 void Registry::gauge_set(const std::string& name, double value) {
   std::lock_guard<std::mutex> lock(mu_);
-  gauges_[name] = value;
+  GaugeCell& cell = shard_of_caller().gauges[name];
+  cell.value = value;
+  cell.max_combined = false;
 }
 
 void Registry::gauge_max(const std::string& name, double value) {
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = gauges_.emplace(name, value);
-  if (!inserted) it->second = std::max(it->second, value);
+  auto [it, inserted] = shard_of_caller().gauges.emplace(name, GaugeCell{value, true});
+  if (!inserted) {
+    it->second.value = std::max(it->second.value, value);
+    it->second.max_combined = true;
+  }
 }
 
 void Registry::histogram_observe(const std::string& name, double value) {
   std::lock_guard<std::mutex> lock(mu_);
-  histograms_[name].observe(value);
+  shard_of_caller().histograms[name].observe(value);
 }
 
 Snapshot Registry::snapshot() const {
   std::lock_guard<std::mutex> lock(mu_);
   Snapshot s;
-  s.counters = counters_;
-  s.gauges = gauges_;
-  s.histograms = histograms_;
+  // Fixed-order reduction over the rank shards (then the external shard):
+  // every merge sequence is identical run to run, so double accumulation —
+  // non-associative — still produces bit-identical totals regardless of how
+  // ranks were interleaved over scheduler workers or OS threads.
+  for (const Shard& shard : shards_) {
+    for (const auto& [name, v] : shard.counters) s.counters[name] += v;
+    for (const auto& [name, cell] : shard.gauges) {
+      auto [it, inserted] = s.gauges.emplace(name, cell.value);
+      if (!inserted) {
+        // max-combined gauges stay a max across shards; set-style gauges take
+        // the highest-shard writer (deterministic, matches the intent of "the
+        // last value wins" for the single-writer gauges the codebase uses).
+        it->second = cell.max_combined ? std::max(it->second, cell.value)
+                                       : cell.value;
+      }
+    }
+    for (const auto& [name, h] : shard.histograms) {
+      s.histograms[name].merge_from(h);
+    }
+  }
   return s;
 }
 
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
-  counters_.clear();
-  gauges_.clear();
-  histograms_.clear();
+  for (Shard& shard : shards_) {
+    shard.counters.clear();
+    shard.gauges.clear();
+    shard.histograms.clear();
+  }
 }
 
 }  // namespace tsr::obs

@@ -17,6 +17,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "runtime/sim_clock.hpp"
 
@@ -35,6 +36,10 @@ struct HistogramData {
   std::array<std::int64_t, kBuckets> buckets{};
 
   void observe(double value);
+  /// Accumulates `other` into this histogram: counts, buckets and extrema
+  /// merge exactly; `sum` adds in call order, so merging shards in a fixed
+  /// order yields a bit-deterministic total.
+  void merge_from(const HistogramData& other);
   double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
   /// Quantile estimate from the log-bucketed counts: locates the bucket of
   /// the ceil(q*count)-th sample and interpolates linearly inside it, then
@@ -68,8 +73,21 @@ struct Snapshot {
 /// Thread-safe named-metric store. Ranks of a virtual cluster record
 /// concurrently; names are shared, so a histogram aggregates all ranks'
 /// samples of the same operation.
+///
+/// Recordings are sharded per SPMD rank (rt::current_spmd_rank; recordings
+/// from outside any rank land in a dedicated extra shard) and snapshot()
+/// reduces the shards in fixed rank order. Within one rank the sample
+/// sequence is program order — deterministic — so the reduced histogram
+/// `sum` is bit-identical across scheduler backends and worker counts even
+/// though double addition is not associative. This is what lets the
+/// run-report diff gate compare rollups exactly instead of over a
+/// noise floor.
 class Registry {
  public:
+  Registry() : Registry(1) {}
+  /// `ranks` rank shards plus one shard for recordings outside any rank.
+  explicit Registry(int ranks);
+
   void counter_add(const std::string& name, std::int64_t delta = 1);
   void gauge_set(const std::string& name, double value);
   /// Gauge that keeps the maximum of all recorded values.
@@ -80,10 +98,20 @@ class Registry {
   void reset();
 
  private:
+  struct GaugeCell {
+    double value = 0.0;
+    bool max_combined = false;  ///< recorded via gauge_max: merge by max
+  };
+  struct Shard {
+    std::map<std::string, std::int64_t> counters;
+    std::map<std::string, GaugeCell> gauges;
+    std::map<std::string, HistogramData> histograms;
+  };
+
+  Shard& shard_of_caller();
+
   mutable std::mutex mu_;
-  std::map<std::string, std::int64_t> counters_;
-  std::map<std::string, double> gauges_;
-  std::map<std::string, HistogramData> histograms_;
+  std::vector<Shard> shards_;  ///< [0, ranks) per rank, back() = external
 };
 
 /// RAII timer recording one histogram sample of simulated elapsed time.

@@ -62,6 +62,9 @@ void charge_gemm(comm::Communicator& comm, std::int64_t m, std::int64_t n,
     reg.counter_add("sim.gemm.flops", 2 * m * n * k);
     reg.counter_add("sim.gemm.calls");
   }
+  if (obs::LiveSampler* live = comm.world().live()) {
+    live->on_compute(comm.world_rank(), t0, comm.clock().now());
+  }
 }
 
 void charge_memory_bound(comm::Communicator& comm, std::int64_t bytes) {
@@ -76,6 +79,9 @@ void charge_memory_bound(comm::Communicator& comm, std::int64_t bytes) {
     reg.histogram_observe("sim.kernel.sim_seconds", comm.clock().now() - t0);
     reg.counter_add("sim.kernel.bytes", bytes);
     reg.counter_add("sim.kernel.calls");
+  }
+  if (obs::LiveSampler* live = comm.world().live()) {
+    live->on_compute(comm.world_rank(), t0, comm.clock().now());
   }
 }
 

@@ -85,4 +85,28 @@ EvalResult evaluate(const EvalConfig& cfg) {
   return res;
 }
 
+obs::ExpectationProfile expectation_from_cost_model(const EvalConfig& cfg) {
+  const int ranks = cfg.total_ranks();
+  check(ranks >= 1, "expectation_from_cost_model: configuration has no ranks");
+  comm::World world(ranks, cfg.spec);
+  world.enable_metrics();
+  const int grid_d = cfg.scheme == Scheme::Optimus2D ? 1 : cfg.d;
+  world.run([&](comm::Communicator& c) {
+    if (cfg.scheme == Scheme::Megatron1D) {
+      for (int l = 0; l < cfg.layers; ++l) {
+        phantom_megatron_forward(c, cfg.dims);
+        phantom_megatron_backward(c, cfg.dims);
+      }
+      return;
+    }
+    pdg::TesseractComms tc = pdg::TesseractComms::create(c, cfg.q, grid_d);
+    for (int l = 0; l < cfg.layers; ++l) {
+      phantom_tesseract_forward(tc, cfg.dims);
+      phantom_tesseract_backward(tc, cfg.dims);
+    }
+  });
+  return obs::ExpectationProfile::from_snapshot(world.metrics().snapshot(),
+                                                world.max_sim_time(), ranks);
+}
+
 }  // namespace tsr::perf

@@ -8,6 +8,7 @@
 
 #include "comm/stats.hpp"
 #include "fault/fault.hpp"
+#include "obs/expect.hpp"
 #include "perf/layer_costs.hpp"
 #include "topology/machine_spec.hpp"
 
@@ -50,5 +51,13 @@ struct EvalResult {
 /// paper's printed numbers do (1/(fwd+bwd) and 1/fwd — see the note in
 /// cost_model.cpp on the text-vs-numbers discrepancy).
 EvalResult evaluate(const EvalConfig& cfg);
+
+/// Derives a live-telemetry expectation profile (obs/expect.hpp) from the
+/// cost model: phantom-replays cfg's schedule (forward + backward per layer)
+/// on a fresh metered World and condenses the result into predicted op rate
+/// and busy/wait fractions. cfg.fault is deliberately IGNORED — the profile
+/// is what a *healthy* cluster should do; drift from it is the signal the
+/// ExpectationMonitor looks for.
+obs::ExpectationProfile expectation_from_cost_model(const EvalConfig& cfg);
 
 }  // namespace tsr::perf

@@ -4,6 +4,7 @@
 #include <thread>
 #include <utility>
 
+#include "fault/fault.hpp"
 #include "runtime/fiber.hpp"
 
 namespace tsr::perf {
@@ -20,6 +21,10 @@ void stamp_envelope(obs::JsonValue& root, const std::string& kind) {
   root["workers"] = static_cast<std::int64_t>(workers);
   root["host_cores"] =
       static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  // Unlike the host fields above, the fault-plan fingerprint describes the
+  // *experiment*, so diffing does NOT skip it: comparing runs under
+  // different plans fails loudly instead of reading as numeric drift.
+  root["fault_plan"] = fault::active_plan_fingerprint();
   if (const char* label = std::getenv("TESSERACT_RUN_LABEL")) {
     root["run_label"] = label;
   }

@@ -240,6 +240,13 @@ RunReport build_run_report(const comm::World& world, std::string name) {
     std::sort(rep.rollups.begin(), rep.rollups.end(), by_total);
   }
 
+  if (const obs::LiveSampler* live = world.live()) {
+    rep.timeline_interval = live->config().interval;
+    rep.timeline_windows_flushed = live->windows_flushed();
+    rep.timeline = live->ring();
+    rep.timeline_drift = live->drift_events();
+  }
+
   if (const fault::Injector* inj = world.fault_injector()) {
     rep.fault_active = true;
     const fault::FaultReport fr = inj->report();
@@ -346,6 +353,26 @@ obs::JsonValue RunReport::to_json() const {
   obs::JsonValue rolls = obs::JsonValue::array();
   for (const OpRollup& r : rollups) rolls.push_back(rollup_to_json(r));
   root["rollups"] = std::move(rolls);
+
+  if (timeline_interval > 0.0) {
+    // Same schema as the streamed TIMELINE file (obs::window_to_json), so
+    // tooling that reads one reads the other.
+    obs::JsonValue tl = obs::JsonValue::object();
+    tl["schema_version"] = obs::kTimelineSchemaVersion;
+    tl["interval"] = timeline_interval;
+    tl["windows_flushed"] = timeline_windows_flushed;
+    obs::JsonValue windows = obs::JsonValue::array();
+    for (const obs::WindowSnapshot& w : timeline) {
+      windows.push_back(obs::window_to_json(w));
+    }
+    tl["windows"] = std::move(windows);
+    obs::JsonValue drift = obs::JsonValue::array();
+    for (const obs::DriftEvent& e : timeline_drift) {
+      drift.push_back(e.to_json());
+    }
+    tl["drift"] = std::move(drift);
+    root["timeline"] = std::move(tl);
+  }
 
   if (fault_active) {
     obs::JsonValue f = obs::JsonValue::object();
@@ -719,14 +746,13 @@ bool skip_at_root(const std::string& key) {
          key == "run_label" || key == "name";
 }
 
-// Floating-point accumulation noise floor. Simulated results are
-// deterministic, but the shared metrics registry sums histogram samples in
-// arrival order, and with multiple scheduler workers that order depends on
-// thread interleaving — double addition is not associative, so rollup sums
-// can drift by a few ulps across backends. Anything below this relative
-// difference is reordering noise, not a result change; real regressions are
-// many orders of magnitude larger.
-constexpr double kNoiseFloor = 1e-12;
+// Exact comparison: the metrics registry shards recordings per rank and
+// reduces the shards in fixed rank order (obs/metrics.hpp), so rollup sums
+// are bit-identical across backends and worker counts. Before that fix the
+// registry summed histogram samples in wall-clock arrival order, and a
+// 1e-12 relative floor papered over the resulting few-ulp drift; any
+// nonzero difference now is a real result change.
+constexpr double kNoiseFloor = 0.0;
 
 struct DiffWalker {
   double threshold;

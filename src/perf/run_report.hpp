@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "comm/communicator.hpp"
+#include "obs/expect.hpp"
 #include "obs/json.hpp"
 
 namespace tsr::perf {
@@ -114,6 +115,15 @@ struct RunReport {
   std::vector<OpRollup> rollups;      ///< layer.* / pipeline.* / sim.* / train.*
 
   // Fault attribution; populated only when an injector is active.
+  // Live telemetry, populated when the World ran with a LiveSampler
+  // attached: the completed windows still in the sampler's ring (the tail of
+  // the run for long runs — the full stream lives in the TIMELINE file) and
+  // the drift events its monitor emitted, in the shared TIMELINE schema.
+  double timeline_interval = 0.0;  ///< 0 when no sampler was attached
+  std::int64_t timeline_windows_flushed = 0;
+  std::vector<obs::WindowSnapshot> timeline;
+  std::vector<obs::DriftEvent> timeline_drift;
+
   bool fault_active = false;
   std::int64_t fault_kills = 0;
   std::int64_t fault_delayed_msgs = 0;
@@ -170,13 +180,15 @@ struct ReportDiffResult {
 };
 
 /// Field-by-field comparison of two run-report (or bench) JSON documents.
-/// Numeric leaves are compared by relative difference; any difference above
-/// the 1e-12 accumulation-noise floor is a delta and a delta beyond
-/// `threshold` is a regression, so the default threshold 0 is the
-/// determinism gate: equality up to the non-associativity of the shared
-/// registry's parallel sample sums. The envelope's environment fields
-/// (backend, workers, host_cores, run_label) and the report name are
-/// skipped: two same-seed runs on different backends must diff clean.
+/// Numeric leaves are compared by relative difference; any difference at all
+/// is a delta and a delta beyond `threshold` is a regression, so the default
+/// threshold 0 is the bit-exact determinism gate (the metrics registry's
+/// fixed-order shard reduction makes rollup sums reproducible, so no
+/// accumulation-noise floor is needed anymore). The envelope's environment
+/// fields (backend, workers, host_cores, run_label) and the report name are
+/// skipped: two same-seed runs on different backends must diff clean. The
+/// envelope's `fault_plan` fingerprint is NOT skipped — comparing runs under
+/// different fault plans is a structural failure by design.
 ReportDiffResult diff_run_reports(const obs::JsonValue& a,
                                   const obs::JsonValue& b,
                                   double threshold = 0.0);

@@ -17,6 +17,7 @@ namespace tsr::rt {
 namespace {
 
 thread_local BlockedSlot* t_blocked_slot = nullptr;
+thread_local int t_thread_rank = -1;  // thread backend + single-rank fast path
 
 // Watchdog state of one watched thread-backend run. Lives in run_spmd's
 // frame; rank threads and the monitor thread only hold pointers into it and
@@ -103,12 +104,28 @@ int deadlock_timeout_ms() {
 
 BlockedSlot* current_blocked_slot() { return t_blocked_slot; }
 
+int current_spmd_rank() {
+  if (FiberScheduler* s = current_scheduler()) {
+    const int r = s->current_rank();
+    if (r >= 0) return r;
+  }
+  return t_thread_rank;
+}
+
 void run_spmd(int nranks, const std::function<void(int)>& fn) {
   if (nranks <= 0) {
     throw std::invalid_argument("run_spmd: nranks must be positive");
   }
   if (nranks == 1) {
-    fn(0);  // fast path, also keeps single-rank stacks debuggable
+    const int prev_rank = t_thread_rank;
+    t_thread_rank = 0;  // fast path, also keeps single-rank stacks debuggable
+    try {
+      fn(0);
+    } catch (...) {
+      t_thread_rank = prev_rank;
+      throw;
+    }
+    t_thread_rank = prev_rank;
     return;
   }
   if (fibers_enabled()) {
@@ -133,11 +150,13 @@ void run_spmd(int nranks, const std::function<void(int)>& fn) {
       BlockedSlot* slot =
           watch ? &watch->slots[static_cast<std::size_t>(r)] : nullptr;
       t_blocked_slot = slot;
+      t_thread_rank = r;
       try {
         fn(r);
       } catch (...) {
         errors[static_cast<std::size_t>(r)] = std::current_exception();
       }
+      t_thread_rank = -1;
       t_blocked_slot = nullptr;
       if (slot != nullptr) slot->done.store(true);
     });

@@ -75,4 +75,13 @@ struct BlockedSlot {
 /// nullptr (fiber backend, unwatched runs, threads outside run_spmd).
 BlockedSlot* current_blocked_slot();
 
+/// Rank the calling thread (or fiber) is executing inside run_spmd, or -1
+/// outside any SPMD region. Works on both backends: the fiber scheduler
+/// publishes the rank of the fiber driving the current worker thread, the
+/// thread backend publishes a thread-local around fn(r). The metrics
+/// registry uses this to shard recordings per rank so rollup reductions can
+/// run in fixed rank order (bit-identical across backends and worker
+/// counts).
+int current_spmd_rank();
+
 }  // namespace tsr::rt

@@ -2,10 +2,11 @@
 //
 //   tsr_report gen <name> [--seed S] [--straggler R:SCALE]
 //       Runs the reference workload — one Tesseract [2,2,2] Transformer-layer
-//       forward + backward on 8 simulated ranks — with tracing and metrics on
-//       and writes REPORT_<name>.json + REPORT_<name>.html into the current
-//       directory. The run is deterministic: two invocations with the same
-//       seed produce reports that `diff` clean, on any scheduler backend.
+//       forward + backward on 8 simulated ranks — with tracing, metrics and
+//       live telemetry on, and writes REPORT_<name>.json + REPORT_<name>.html
+//       + TIMELINE_<name>.json into the current directory. The run is
+//       deterministic: two invocations with the same seed produce reports
+//       and timelines that `diff` clean, on any scheduler backend.
 //   tsr_report summarize <report.json>
 //       Prints the human-readable summary of a report.
 //   tsr_report html <report.json> <out.html>
@@ -25,7 +26,9 @@
 
 #include "comm/communicator.hpp"
 #include "fault/fault.hpp"
+#include "obs/expect.hpp"
 #include "obs/json.hpp"
+#include "obs/live.hpp"
 #include "parallel/dist.hpp"
 #include "parallel/tesseract_transformer.hpp"
 #include "perf/run_report.hpp"
@@ -98,6 +101,16 @@ int cmd_gen(int argc, char** argv) {
     plan.slow_ranks.push_back({straggler_rank, straggler_scale});
     world.install_fault_plan(plan);
   }
+  obs::LiveConfig live_cfg;
+  live_cfg.interval = 2e-5;  // reference workload spans ~1ms: tens of windows
+  live_cfg.label = name;
+  live_cfg.path = "TIMELINE_" + name + ".json";
+  world.enable_live(live_cfg);
+  // Peer-relative drift detection only (no cost-model profile for this
+  // hand-built workload): flags the --straggler rank, silent otherwise.
+  obs::ExpectationMonitor monitor(obs::ExpectationProfile{}, obs::DriftConfig{},
+                                  world.size());
+  world.live()->set_monitor(&monitor);
   world.run([&](comm::Communicator& c) {
     par::TesseractContext ctx(c, 2, 2);
     Rng wrng(seed + 1);
@@ -108,6 +121,8 @@ int cmd_gen(int argc, char** argv) {
     (void)layer.backward(dyl);
   });
 
+  world.finish_live();
+
   if (!perf::write_run_report(world, name)) {
     std::fprintf(stderr, "tsr_report: failed to write REPORT_%s.{json,html}\n",
                  name.c_str());
@@ -115,8 +130,8 @@ int cmd_gen(int argc, char** argv) {
   }
   const perf::RunReport rep = perf::build_run_report(world, name);
   std::printf("%s", rep.to_string().c_str());
-  std::printf("\nwrote REPORT_%s.json and REPORT_%s.html\n", name.c_str(),
-              name.c_str());
+  std::printf("\nwrote REPORT_%s.json, REPORT_%s.html and TIMELINE_%s.json\n",
+              name.c_str(), name.c_str(), name.c_str());
   return 0;
 }
 

@@ -1,0 +1,326 @@
+// tsr_top: terminal dashboard over a live-telemetry TIMELINE stream.
+//
+//   tsr_top replay <TIMELINE.json> [--window N] [--all] [--plain]
+//       Renders the dashboard for one window of a finished (or partial)
+//       timeline: the last flushed window by default, window N with
+//       --window, every window in sequence with --all. Exit code 0 when the
+//       file parsed, 3 when the timeline contains drift events (so CI can
+//       gate on "clean run stayed clean" with the same invocation).
+//   tsr_top follow <TIMELINE.json> [--poll-ms M] [--timeout-s S] [--plain]
+//       Tails a growing timeline while the instrumented run executes,
+//       re-rendering the dashboard as windows complete. Exits when the final
+//       summary line appears (0, or 3 with drift) or the timeout expires (4).
+//
+// The dashboard is plain ASCII; --plain additionally suppresses the ANSI
+// clear/home sequences so output can be piped or checked in CI logs. Every
+// line of a TIMELINE stream is a self-contained JSON document (header,
+// window, drift event or final summary), so the parser here is a loop over
+// obs::json_parse — the same schema the run report embeds.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+using tsr::obs::JsonValue;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: tsr_top <subcommand>\n"
+               "  replay <TIMELINE.json> [--window N] [--all] [--plain]\n"
+               "  follow <TIMELINE.json> [--poll-ms M] [--timeout-s S] "
+               "[--plain]\n");
+  return 2;
+}
+
+double num(const JsonValue& v, const char* key, double dflt = 0.0) {
+  const JsonValue* f = v.find(key);
+  return f != nullptr && f->is_number() ? f->as_double() : dflt;
+}
+
+std::string str(const JsonValue& v, const char* key, const char* dflt = "") {
+  const JsonValue* f = v.find(key);
+  return f != nullptr && f->is_string() ? f->as_string() : std::string(dflt);
+}
+
+// Parsed state of a timeline stream, updated line by line.
+struct Timeline {
+  // Header.
+  bool have_header = false;
+  std::string label;
+  double interval = 0.0;
+  int nranks = 0;
+  std::string fault_plan;
+  // Last two windows (cumulative samples: deltas need the predecessor).
+  bool have_window = false;
+  JsonValue window;       // last window object
+  JsonValue prev_window;  // its predecessor (null object if none)
+  int windows_seen = 0;
+  // Drift events, rendered as a scrolling footer.
+  std::vector<std::string> drift_lines;
+  int drift_events = 0;
+  // Final summary (empty until the stream ends).
+  bool have_final = false;
+  std::string final_line;
+
+  // Consumes one line; returns false (with *err set) on parse failure.
+  bool consume(const std::string& line, std::string* err) {
+    if (line.empty()) return true;
+    const JsonValue v = tsr::obs::json_parse(line, err);
+    if (!err->empty()) return false;
+    if (v.find("kind") != nullptr) {
+      have_header = true;
+      label = str(v, "label");
+      interval = num(v, "interval");
+      nranks = static_cast<int>(num(v, "nranks"));
+      fault_plan = str(v, "fault_plan", "none");
+      return true;
+    }
+    if (const JsonValue* d = v.find("drift")) {
+      drift_events += 1;
+      std::ostringstream os;
+      os << "  [w" << static_cast<long long>(num(*d, "window"))
+         << "] " << str(*d, "type");
+      const long long rank = static_cast<long long>(num(*d, "rank", -1));
+      if (rank >= 0) os << " rank=" << rank;
+      const double factor = num(*d, "factor");
+      if (factor > 0.0) {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, " factor=%.2f", factor);
+        os << buf;
+      }
+      drift_lines.push_back(os.str());
+      return true;
+    }
+    if (const JsonValue* f = v.find("final")) {
+      have_final = true;
+      std::ostringstream os;
+      os << "final: windows=" << static_cast<long long>(num(*f, "windows"))
+         << " samples=" << static_cast<long long>(num(*f, "samples"))
+         << " makespan=" << num(*f, "makespan")
+         << " drift_events=" << static_cast<long long>(num(*f, "drift_events"));
+      final_line = os.str();
+      return true;
+    }
+    if (v.find("w") != nullptr) {
+      prev_window = have_window ? window : JsonValue::object();
+      window = v;
+      have_window = true;
+      windows_seen += 1;
+    }
+    return true;
+  }
+};
+
+std::string bar(double fraction, int width) {
+  if (fraction < 0.0) fraction = 0.0;
+  if (fraction > 1.0) fraction = 1.0;
+  const int fill = static_cast<int>(fraction * width + 0.5);
+  std::string s(static_cast<std::size_t>(fill), '#');
+  s.append(static_cast<std::size_t>(width - fill), '.');
+  return s;
+}
+
+// Renders the dashboard for tl.window (per-window deltas vs prev_window).
+void render(const Timeline& tl, const JsonValue& win, const JsonValue& prev,
+            bool plain) {
+  if (!plain) std::printf("\x1b[H\x1b[2J");  // home + clear
+  std::printf("tsr_top — %s  interval=%gs  ranks=%d  fault_plan=%s\n",
+              tl.label.c_str(), tl.interval, tl.nranks, tl.fault_plan.c_str());
+  const int w = static_cast<int>(num(win, "w"));
+  std::printf("window %d  t=[%g, %g)\n\n", w, w * tl.interval,
+              (w + 1) * tl.interval);
+  std::printf(
+      "rank      ops     msgs        bytes   mem(B)  busy [compute=# wire=+ "
+      "wait=-]\n");
+  const JsonValue* ranks = win.find("ranks");
+  const JsonValue* pranks = prev.find("ranks");
+  const std::size_t n = ranks != nullptr ? ranks->size() : 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    const JsonValue& cur = ranks->items()[r];
+    const bool have_prev = pranks != nullptr && r < pranks->size();
+    const auto delta = [&](const char* key) {
+      return num(cur, key) - (have_prev ? num(pranks->items()[r], key) : 0.0);
+    };
+    const double interval = tl.interval > 0.0 ? tl.interval : 1.0;
+    const double fc = delta("compute_s") / interval;
+    const double fw = delta("wire_s") / interval;
+    const double fb = delta("wait_s") / interval;
+    // One 30-char bar, tiled compute then wire then wait.
+    const int width = 30;
+    const int nc = static_cast<int>(fc * width + 0.5);
+    const int nw = static_cast<int>(fw * width + 0.5);
+    const int nb = static_cast<int>(fb * width + 0.5);
+    std::string tile;
+    tile.append(static_cast<std::size_t>(nc < width ? nc : width), '#');
+    if (static_cast<int>(tile.size()) < width) {
+      tile.append(static_cast<std::size_t>(
+                      nw < width - static_cast<int>(tile.size())
+                          ? nw
+                          : width - static_cast<int>(tile.size())),
+                  '+');
+    }
+    if (static_cast<int>(tile.size()) < width) {
+      tile.append(static_cast<std::size_t>(
+                      nb < width - static_cast<int>(tile.size())
+                          ? nb
+                          : width - static_cast<int>(tile.size())),
+                  '-');
+    }
+    tile.append(static_cast<std::size_t>(width - tile.size()), '.');
+    const bool dead = cur.find("dead") != nullptr;
+    std::printf("%4zu%s %7lld %8lld %12lld %8lld  [%s] %3.0f%%\n", r,
+                dead ? "x" : " ", static_cast<long long>(delta("ops")),
+                static_cast<long long>(delta("msgs")),
+                static_cast<long long>(delta("bytes")),
+                static_cast<long long>(num(cur, "live_bytes")), tile.c_str(),
+                100.0 * (fc + fw + fb));
+  }
+  if (!tl.drift_lines.empty()) {
+    std::printf("\ndrift events:\n");
+    const std::size_t show =
+        tl.drift_lines.size() > 8 ? tl.drift_lines.size() - 8 : 0;
+    for (std::size_t i = show; i < tl.drift_lines.size(); ++i) {
+      std::printf("%s\n", tl.drift_lines[i].c_str());
+    }
+  }
+  if (tl.have_final) std::printf("\n%s\n", tl.final_line.c_str());
+}
+
+int finish_code(const Timeline& tl) { return tl.drift_events > 0 ? 3 : 0; }
+
+int cmd_replay(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const char* path = argv[0];
+  int window = -1;
+  bool all = false;
+  bool plain = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--window") == 0 && i + 1 < argc) {
+      window = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--all") == 0) {
+      all = true;
+    } else if (std::strcmp(argv[i], "--plain") == 0) {
+      plain = true;
+    } else {
+      return usage();
+    }
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "tsr_top: cannot open %s\n", path);
+    return 1;
+  }
+  Timeline tl;
+  std::string line, err;
+  while (std::getline(in, line)) {
+    if (!tl.consume(line, &err)) {
+      std::fprintf(stderr, "tsr_top: %s: %s\n", path, err.c_str());
+      return 1;
+    }
+    if (tl.have_window && tl.window.find("w") != nullptr) {
+      const int w = static_cast<int>(num(tl.window, "w"));
+      const bool selected = window >= 0 && w == window;
+      if ((all || selected) && tl.windows_seen > 0) {
+        render(tl, tl.window, tl.prev_window, /*plain=*/true);
+        std::printf("\n");
+        if (selected) return finish_code(tl);
+      }
+    }
+  }
+  if (!tl.have_header) {
+    std::fprintf(stderr, "tsr_top: %s: not a timeline stream\n", path);
+    return 1;
+  }
+  if (window >= 0) {
+    std::fprintf(stderr, "tsr_top: window %d not found in %s\n", window, path);
+    return 1;
+  }
+  if (!all) {
+    if (!tl.have_window) {
+      std::printf("tsr_top — %s: no completed windows\n", tl.label.c_str());
+      if (tl.have_final) std::printf("%s\n", tl.final_line.c_str());
+      return finish_code(tl);
+    }
+    render(tl, tl.window, tl.prev_window, plain);
+  }
+  return finish_code(tl);
+}
+
+int cmd_follow(int argc, char** argv) {
+  if (argc < 1) return usage();
+  const char* path = argv[0];
+  int poll_ms = 200;
+  double timeout_s = 60.0;
+  bool plain = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--poll-ms") == 0 && i + 1 < argc) {
+      poll_ms = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--timeout-s") == 0 && i + 1 < argc) {
+      timeout_s = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--plain") == 0) {
+      plain = true;
+    } else {
+      return usage();
+    }
+  }
+  Timeline tl;
+  std::string carry, err;
+  std::streamoff offset = 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::ifstream in(path, std::ios::binary);
+    if (in) {
+      in.seekg(offset);
+      std::ostringstream chunk;
+      chunk << in.rdbuf();
+      std::string data = carry + chunk.str();
+      offset += static_cast<std::streamoff>(data.size() - carry.size());
+      carry.clear();
+      std::size_t start = 0;
+      bool rendered = false;
+      for (;;) {
+        const std::size_t nl = data.find('\n', start);
+        if (nl == std::string::npos) {
+          carry = data.substr(start);  // incomplete trailing line
+          break;
+        }
+        if (!tl.consume(data.substr(start, nl - start), &err)) {
+          std::fprintf(stderr, "tsr_top: %s: %s\n", path, err.c_str());
+          return 1;
+        }
+        rendered = true;
+        start = nl + 1;
+      }
+      if (rendered && tl.have_window) {
+        render(tl, tl.window, tl.prev_window, plain);
+      }
+      if (tl.have_final) {
+        if (!tl.have_window) std::printf("%s\n", tl.final_line.c_str());
+        return finish_code(tl);
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+  }
+  std::fprintf(stderr, "tsr_top: timed out after %gs waiting on %s\n",
+               timeout_s, path);
+  return 4;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "replay") return cmd_replay(argc - 2, argv + 2);
+  if (cmd == "follow") return cmd_follow(argc - 2, argv + 2);
+  return usage();
+}
