@@ -132,6 +132,11 @@ World::World(int nranks, topo::MachineSpec spec)
 World::~World() = default;
 
 void World::install_fault_plan(const fault::FaultPlan& plan) {
+  // Every install resets the mailbox receive timeouts to the new plan's
+  // value (<= 0 disables), BEFORE the empty-plan early return: a replaced
+  // or cleared plan must not leak the previous plan's timeout into later
+  // runs on this World (back-to-back serving sweeps reuse one process).
+  for (auto& mb : mailboxes_) mb->set_recv_timeout_ms(plan.recv_timeout_ms);
   if (plan.empty()) return;  // byte-identity guarantee: nothing installed
   fault::note_installed_plan(plan);  // envelope stamp for exported reports
   injector_ = std::make_unique<fault::Injector>(plan, this);
@@ -140,9 +145,6 @@ void World::install_fault_plan(const fault::FaultPlan& plan) {
       if (s.rank >= 0 && s.rank != r) continue;
       clocks_[static_cast<std::size_t>(r)].set_slowdown(s.scale);
     }
-  }
-  if (plan.recv_timeout_ms > 0) {
-    for (auto& mb : mailboxes_) mb->set_recv_timeout_ms(plan.recv_timeout_ms);
   }
 }
 

@@ -252,6 +252,11 @@ void Mailbox::set_recv_timeout_ms(int ms) {
   recv_timeout_ms_ = ms;
 }
 
+int Mailbox::recv_timeout_ms() const {
+  std::lock_guard lock(mu_);
+  return recv_timeout_ms_;
+}
+
 std::size_t Mailbox::discard_duplicates(int src, std::uint64_t tag) {
   std::lock_guard lock(mu_);
   std::size_t discarded = dup_skipped_;  // swallowed inside pop

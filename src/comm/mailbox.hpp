@@ -88,6 +88,10 @@ class Mailbox {
   /// and relies on poison_failure's instant wakeup instead. <= 0 disables.
   void set_recv_timeout_ms(int ms);
 
+  /// Currently configured receive timeout (<= 0 = disabled); lets tests
+  /// assert that replacing a fault plan resets the previous plan's value.
+  int recv_timeout_ms() const;
+
   /// Drops queued duplicate-flagged messages at the head of the (src, tag)
   /// FIFO; the receiver calls this after each pop so an injected duplicate
   /// never reaches application code. Returns how many were discarded.

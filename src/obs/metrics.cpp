@@ -42,9 +42,17 @@ double HistogramData::quantile(double q) const {
   if (count == 0) return 0.0;
   if (!(q > 0.0)) return min;  // also catches NaN
   if (q >= 1.0) return max;
-  // Nearest-rank: the target sample is the ceil(q*count)-th smallest (1-based).
+  // Nearest-rank: the target sample is the ceil(q*count)-th smallest
+  // (1-based). The epsilon guards exact-boundary products like 0.3 * 10,
+  // which round to just above their true value and would otherwise shift
+  // the rank up by one.
   const std::int64_t target = std::max<std::int64_t>(
-      1, static_cast<std::int64_t>(std::ceil(q * static_cast<double>(count))));
+      1, static_cast<std::int64_t>(
+             std::ceil(q * static_cast<double>(count) - 1e-9)));
+  // The extreme ranks are pinned by the tracked min/max; bucket
+  // interpolation can only smear them (count == 1 lands here for every q).
+  if (target <= 1) return min;
+  if (target >= count) return max;
   std::int64_t below = 0;  // samples in buckets before the target's
   for (int i = 0; i < kBuckets; ++i) {
     const std::int64_t in_bucket = buckets[static_cast<std::size_t>(i)];

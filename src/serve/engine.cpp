@@ -1,0 +1,39 @@
+#include "serve/engine.hpp"
+
+namespace tsr::serve {
+
+LmEngine::LmEngine(par::TesseractContext& ctx, const train::LmConfig& cfg,
+                   std::int64_t slots, Rng& wrng)
+    : model_(ctx, cfg, wrng), state_(model_.make_decode_state(slots)) {}
+
+void LmEngine::reset_slot(std::int64_t slot) {
+  model_.reset_slot(state_, slot);
+}
+
+void LmEngine::park_slot(std::int64_t slot) {
+  check(slot >= 0 && slot < state_.slots, "park_slot: slot out of range");
+  // Only the length resets: the slot's stale cache rows are harmless (all
+  // per-slot ops are row-local) and reset_slot zeroes them before reuse.
+  state_.lens[static_cast<std::size_t>(slot)] = 0;
+}
+
+std::vector<int> LmEngine::step(std::span<const int> tokens) {
+  Tensor logits = model_.forward_step(tokens, state_);  // [slots, 1, vocab]
+  const std::int64_t vocab = logits.dim(2);
+  std::vector<int> next(static_cast<std::size_t>(state_.slots), 0);
+  for (std::int64_t b = 0; b < state_.slots; ++b) {
+    std::int64_t best = 0;
+    float best_v = logits.at(b, 0, 0);
+    for (std::int64_t v = 1; v < vocab; ++v) {
+      const float x = logits.at(b, 0, v);
+      if (x > best_v) {
+        best_v = x;
+        best = v;
+      }
+    }
+    next[static_cast<std::size_t>(b)] = static_cast<int>(best);
+  }
+  return next;
+}
+
+}  // namespace tsr::serve

@@ -1,0 +1,47 @@
+// Fixed-slot decode engine: one TesseractLanguageModel plus its KV decode
+// state, stepped one token per slot per call. The batch shape never changes
+// — parked (unoccupied) slots still run, restarted at position 0 with a
+// dummy token, and their outputs are discarded by the batcher. Every
+// attention/norm/residual op is row-local per slot, so parked garbage can
+// never perturb an active slot's logits; that is what lets continuous
+// batching keep the bit-identity guarantee while requests come and go.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "train/lm.hpp"
+
+namespace tsr::serve {
+
+class LmEngine {
+ public:
+  /// `slots` must divide by the grid's d*q (it is the decode batch size).
+  LmEngine(par::TesseractContext& ctx, const train::LmConfig& cfg,
+           std::int64_t slots, Rng& wrng);
+
+  std::int64_t slots() const { return state_.slots; }
+  std::int64_t capacity() const { return state_.capacity; }
+  const train::LmConfig& config() const { return model_.config(); }
+
+  /// Prepares a slot for a new request: zeroes its KV rows and length.
+  void reset_slot(std::int64_t slot);
+  /// Marks a slot unoccupied: it keeps running (fixed batch shape) but
+  /// restarts from position 0 each step, output discarded.
+  void park_slot(std::int64_t slot);
+
+  /// One decode step across all slots: feeds tokens[slot] at each slot's
+  /// current position, returns the greedy (argmax, lowest index wins ties)
+  /// next token per slot. SPMD-collective: every rank passes the same
+  /// tokens and receives the same result.
+  std::vector<int> step(std::span<const int> tokens);
+
+  train::TesseractLanguageModel& model() { return model_; }
+  train::LmDecodeState& state() { return state_; }
+
+ private:
+  train::TesseractLanguageModel model_;
+  train::LmDecodeState state_;
+};
+
+}  // namespace tsr::serve

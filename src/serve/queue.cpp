@@ -1,0 +1,67 @@
+#include "serve/queue.hpp"
+
+#include "tensor/tensor.hpp"
+
+namespace tsr::serve {
+
+const char* reject_reason_name(RejectReason r) {
+  switch (r) {
+    case RejectReason::QueueFull: return "queue_full";
+    case RejectReason::DeadlineExpired: return "deadline_expired";
+  }
+  return "?";
+}
+
+AdmissionQueue::AdmissionQueue(std::size_t max_depth) : max_depth_(max_depth) {
+  check(max_depth >= 1, "AdmissionQueue: max depth must be >= 1");
+}
+
+void AdmissionQueue::record_shed(std::int64_t id, RejectReason why) {
+  if (why == RejectReason::QueueFull) {
+    ++shed_.queue_full;
+  } else {
+    ++shed_.deadline_expired;
+  }
+  rejects_.emplace_back(id, why);
+}
+
+bool AdmissionQueue::offer(const Request& r, double now) {
+  if (r.deadline <= now) {
+    record_shed(r.id, RejectReason::DeadlineExpired);
+    return false;
+  }
+  if (q_.size() >= max_depth_) {
+    record_shed(r.id, RejectReason::QueueFull);
+    return false;
+  }
+  q_.push_back(r);
+  return true;
+}
+
+void AdmissionQueue::shed_expired(double now) {
+  std::deque<Request> keep;
+  for (Request& r : q_) {
+    if (r.deadline <= now) {
+      record_shed(r.id, RejectReason::DeadlineExpired);
+    } else {
+      keep.push_back(std::move(r));
+    }
+  }
+  q_.swap(keep);
+}
+
+bool AdmissionQueue::pop(double now, Request* out) {
+  while (!q_.empty()) {
+    Request r = std::move(q_.front());
+    q_.pop_front();
+    if (r.deadline <= now) {
+      record_shed(r.id, RejectReason::DeadlineExpired);
+      continue;
+    }
+    *out = std::move(r);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace tsr::serve

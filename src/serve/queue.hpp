@@ -1,0 +1,59 @@
+// SLO-aware admission queue: a bounded FIFO that sheds requests which can
+// no longer meet their deadline, with structured reject accounting so the
+// bench and the run report can attribute every lost request to a cause.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "serve/workload.hpp"
+
+namespace tsr::serve {
+
+enum class RejectReason { QueueFull, DeadlineExpired };
+
+const char* reject_reason_name(RejectReason r);
+
+struct ShedStats {
+  std::int64_t queue_full = 0;
+  std::int64_t deadline_expired = 0;
+  std::int64_t total() const { return queue_full + deadline_expired; }
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t max_depth);
+
+  /// Admits `r` at time `now`. Returns false — and records the reject — when
+  /// the queue is at max depth or the request's deadline already passed.
+  bool offer(const Request& r, double now);
+
+  /// Sheds every queued request whose deadline is at or before `now`
+  /// (deadline-based drop: a request that cannot start in time never
+  /// occupies a decode slot).
+  void shed_expired(double now);
+
+  /// Pops the oldest still-admissible request into `out`; expired entries
+  /// encountered on the way are shed. Returns false when nothing is left.
+  bool pop(double now, Request* out);
+
+  bool empty() const { return q_.empty(); }
+  std::size_t depth() const { return q_.size(); }
+  const ShedStats& shed() const { return shed_; }
+  /// Every rejected/shed request id with its reason, in event order.
+  const std::vector<std::pair<std::int64_t, RejectReason>>& rejects() const {
+    return rejects_;
+  }
+
+ private:
+  void record_shed(std::int64_t id, RejectReason why);
+
+  std::size_t max_depth_;
+  std::deque<Request> q_;
+  ShedStats shed_;
+  std::vector<std::pair<std::int64_t, RejectReason>> rejects_;
+};
+
+}  // namespace tsr::serve

@@ -553,6 +553,37 @@ TEST(FaultTimeout, BlockedRecvTimesOutOnThreadsBackend) {
   }
 }
 
+// Regression: install_fault_plan must reset the mailbox receive timeouts on
+// EVERY install — including an empty plan. Before the fix, installing a new
+// plan with recv_timeout_ms == 0 (or clearing faults between back-to-back
+// runs on one World) leaked the previous plan's timeout into later runs.
+TEST(FaultTimeout, ReinstallResetsMailboxRecvTimeouts) {
+  comm::World world(3);
+
+  FaultPlan timed;
+  timed.recv_timeout_ms = 750;
+  world.install_fault_plan(timed);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(world.mailbox(r).recv_timeout_ms(), 750) << r;
+  }
+
+  // A non-empty follow-up plan with no timeout must clear it, not keep 750.
+  FaultPlan slow;
+  slow.slow_ranks.push_back({/*rank=*/1, /*scale=*/2.0});
+  world.install_fault_plan(slow);
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(world.mailbox(r).recv_timeout_ms(), 0) << r;
+  }
+
+  world.install_fault_plan(timed);
+  // An EMPTY plan (the "clear faults" idiom) must also reset the timeout,
+  // even though it installs nothing else.
+  world.install_fault_plan(FaultPlan{});
+  for (int r = 0; r < 3; ++r) {
+    EXPECT_EQ(world.mailbox(r).recv_timeout_ms(), 0) << r;
+  }
+}
+
 // Env-driven install: a World constructed while TESSERACT_FAULT_* is set
 // picks the plan up with no code change.
 TEST(FaultEnv, WorldConstructorReadsEnvironment) {

@@ -114,6 +114,79 @@ TEST(Metrics, QuantileBucketBoundariesAndMonotonicity) {
   EXPECT_GT(s.quantile(0.999), 0.1);
 }
 
+// Nearest-rank oracle over the raw samples: 1-based rank ceil(q*n), with
+// the same epsilon guard quantile() uses so exact boundary products like
+// 0.3 * 10 (which rounds to just above 3 in binary) pick rank 3, not 4.
+double oracle_quantile(std::vector<double> v, double q) {
+  std::sort(v.begin(), v.end());
+  const auto n = static_cast<std::int64_t>(v.size());
+  std::int64_t rank =
+      static_cast<std::int64_t>(std::ceil(q * static_cast<double>(n) - 1e-9));
+  rank = std::max<std::int64_t>(1, std::min(n, rank));
+  return v[static_cast<std::size_t>(rank - 1)];
+}
+
+TEST(Metrics, QuantileMatchesSortedSampleOracle) {
+  // count == 1: every q is the sample, bit-exactly.
+  {
+    Registry reg;
+    reg.histogram_observe("h", 7.25e-7);
+    const HistogramData h = reg.snapshot().histograms.at("h");
+    for (double q : {0.001, 0.3, 0.5, 0.9, 0.99, 1.0}) {
+      EXPECT_DOUBLE_EQ(h.quantile(q), 7.25e-7) << q;
+    }
+  }
+  // Extreme-rank pin at the low end: q = 1/3 of three samples targets rank 1
+  // exactly, which must return min (not an interpolated bucket estimate).
+  {
+    Registry reg;
+    const std::vector<double> v = {130e-9, 135e-9, 300e-9};
+    for (double x : v) reg.histogram_observe("h", x);
+    const HistogramData h = reg.snapshot().histograms.at("h");
+    EXPECT_DOUBLE_EQ(h.quantile(1.0 / 3.0), oracle_quantile(v, 1.0 / 3.0));
+    EXPECT_DOUBLE_EQ(h.quantile(1.0 / 3.0), 130e-9);
+  }
+  // Extreme-rank pin at the high end, with both samples sharing one
+  // power-of-two bucket ([256ns, 512ns)): q = 0.9 of two samples targets
+  // rank 2 == count, which must return max exactly — in-bucket
+  // interpolation would land at 448ns, a value never observed.
+  {
+    Registry reg;
+    const std::vector<double> v = {257e-9, 500e-9};
+    for (double x : v) reg.histogram_observe("h", x);
+    const HistogramData h = reg.snapshot().histograms.at("h");
+    EXPECT_DOUBLE_EQ(h.quantile(0.9), oracle_quantile(v, 0.9));
+    EXPECT_DOUBLE_EQ(h.quantile(0.9), 500e-9);
+  }
+  // All samples equal: one bucket, min == max, every q collapses to it.
+  {
+    Registry reg;
+    for (int i = 0; i < 5; ++i) reg.histogram_observe("h", 3e-7);
+    const HistogramData h = reg.snapshot().histograms.at("h");
+    for (double q : {0.1, 0.5, 0.8, 0.999}) {
+      EXPECT_DOUBLE_EQ(h.quantile(q), 3e-7) << q;
+    }
+  }
+  // Exact nearest-rank boundary: q * count == 3.0 in exact arithmetic but
+  // just above it in binary (0.3 is not representable). The target must be
+  // the 3rd smallest sample, not the 4th — with one sample per bucket this
+  // is visible as a whole-bucket shift.
+  {
+    Registry reg;
+    std::vector<double> v;
+    for (int i = 0; i < 10; ++i) {
+      v.push_back(HistogramData::bucket_floor(10 + i));
+      reg.histogram_observe("h", v.back());
+    }
+    const HistogramData h = reg.snapshot().histograms.at("h");
+    for (double q : {0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 0.9, 1.0}) {
+      EXPECT_EQ(HistogramData::bucket_of(h.quantile(q)),
+                HistogramData::bucket_of(oracle_quantile(v, q)))
+          << q;
+    }
+  }
+}
+
 TEST(Metrics, ScopedTimerRecordsSimulatedElapsed) {
   Registry reg;
   rt::SimClock clock;

@@ -1,0 +1,67 @@
+# Regression test for `tsr_top follow` against a torn trailing JSONL line.
+#
+# The live-telemetry writer appends TIMELINE_*.json concurrently with the
+# dashboard's polling reads, so the last line of a poll can be incomplete
+# even when its newline has already landed. follow mode must treat an
+# unparseable FINAL line as a tear (rewind, retry next poll, run into the
+# idle timeout -> exit 4), while an unparseable line with data after it is
+# genuine corruption (-> exit 1).
+#
+# Invoked as:
+#   cmake -DTSR_TOP=<path> -DWORK_DIR=<dir> -P tsr_top_torn_tail.cmake
+
+if(NOT DEFINED TSR_TOP OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "usage: cmake -DTSR_TOP=... -DWORK_DIR=... -P ${CMAKE_CURRENT_LIST_FILE}")
+endif()
+
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+set(HEADER "{\"kind\":\"timeline\",\"label\":\"torn\",\"interval\":0.01,\"nranks\":2}")
+
+# --- Case 1: torn trailing line ---------------------------------------------
+# A newline-terminated but truncated JSON object at EOF. Before the fix,
+# follow failed the stream (exit 1); it must instead retry the line each
+# poll and exit 4 when the writer never completes it.
+set(TORN "${WORK_DIR}/torn.jsonl")
+file(WRITE "${TORN}" "${HEADER}\n{\"w\":0,\"ranks\":[\n")
+
+execute_process(
+  COMMAND "${TSR_TOP}" follow "${TORN}" --timeout-s 1 --poll-ms 100 --plain
+  RESULT_VARIABLE torn_rc
+  OUTPUT_VARIABLE torn_out
+  ERROR_VARIABLE torn_err)
+if(NOT torn_rc EQUAL 4)
+  message(FATAL_ERROR "torn tail: expected exit 4 (timeout), got ${torn_rc}\nstdout: ${torn_out}\nstderr: ${torn_err}")
+endif()
+
+# --- Case 2: the same prefix, completed ------------------------------------
+# The torn line from case 1, finished by the writer, plus a final summary:
+# follow must parse clean end-to-end and exit through finish_code (0). The
+# rewind-and-retry path itself is exercised by case 1.
+set(HEAL "${WORK_DIR}/heal.jsonl")
+file(WRITE "${HEAL}" "${HEADER}\n{\"w\":0,\"ranks\":[]}\n{\"final\":{\"windows\":1,\"samples\":0,\"makespan\":0.5,\"drift_events\":0}}\n")
+execute_process(
+  COMMAND "${TSR_TOP}" follow "${HEAL}" --timeout-s 5 --poll-ms 100 --plain
+  RESULT_VARIABLE heal_rc
+  OUTPUT_VARIABLE heal_out
+  ERROR_VARIABLE heal_err)
+if(NOT heal_rc EQUAL 0)
+  message(FATAL_ERROR "healed stream: expected exit 0, got ${heal_rc}\nstdout: ${heal_out}\nstderr: ${heal_err}")
+endif()
+
+# --- Case 3: genuine mid-stream corruption ----------------------------------
+# An unparseable line FOLLOWED by more data cannot be a tear; follow must
+# fail fast with exit 1, not mask the corruption as a retry.
+set(CORRUPT "${WORK_DIR}/corrupt.jsonl")
+file(WRITE "${CORRUPT}" "${HEADER}\n{\"w\":0,\"ranks\":[\n{\"w\":1,\"ranks\":[]}\n")
+
+execute_process(
+  COMMAND "${TSR_TOP}" follow "${CORRUPT}" --timeout-s 5 --poll-ms 100 --plain
+  RESULT_VARIABLE corrupt_rc
+  OUTPUT_VARIABLE corrupt_out
+  ERROR_VARIABLE corrupt_err)
+if(NOT corrupt_rc EQUAL 1)
+  message(FATAL_ERROR "mid-stream corruption: expected exit 1, got ${corrupt_rc}\nstdout: ${corrupt_out}\nstderr: ${corrupt_err}")
+endif()
+
+message(STATUS "tsr_top torn-tail regression: all 3 cases passed")

@@ -293,7 +293,19 @@ int cmd_follow(int argc, char** argv) {
           carry = data.substr(start);  // incomplete trailing line
           break;
         }
+        err.clear();
         if (!tl.consume(data.substr(start, nl - start), &err)) {
+          if (nl + 1 == data.size()) {
+            // Torn trailing line: the writer appends the stream concurrently,
+            // so the last line of a poll may be incomplete even when a
+            // newline already landed. Rewind to the line start and re-read
+            // it fresh on the next poll; a line that never completes runs
+            // into the timeout (exit 4) instead of failing the stream.
+            offset -= static_cast<std::streamoff>(data.size() - start);
+            break;
+          }
+          // Lines with data after them are complete: a parse failure here is
+          // genuine stream corruption, not a tear.
           std::fprintf(stderr, "tsr_top: %s: %s\n", path, err.c_str());
           return 1;
         }
