@@ -5,6 +5,9 @@
 //   * MEASURED bytes moved by the actual implementations of Cannon, SUMMA,
 //     2.5-D and Tesseract for one C = A*B at equal processor count.
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "comm/communicator.hpp"
@@ -75,6 +78,42 @@ Measured measure_summa(int q, const Tensor& a, const Tensor& b) {
     (void)pdg::summa_ab_local(g, ab, bb);
   });
   return finish(world);
+}
+
+// Depth-reduction volume of Tesseract's A^T*B (the backward-pass shape whose
+// B' all-reduce the bf16 compression targets), with the collective's own
+// byte accounting split out from the total.
+struct DepthMeasured {
+  std::int64_t total_bytes = 0;
+  std::int64_t depth_bytes = 0;
+  std::int64_t depth_calls = 0;
+  double sim_us = 0.0;
+};
+
+DepthMeasured measure_atb_depth(int q, int d, bool compressed) {
+  setenv("TESSERACT_COMPRESS_DEPTH", compressed ? "1" : "0", 1);
+  const std::int64_t rows = 1536, inner = 192, cols = 192;
+  comm::World world(q * q * d, topo::MachineSpec::meluxina());
+  world.run([&](comm::Communicator& c) {
+    pdg::TesseractComms tc = pdg::TesseractComms::create(c, q, d);
+    Tensor a({rows / (q * d), inner / q});
+    Tensor b({rows / (q * d), cols / q});
+    a.fill(0.25f + 0.5f * static_cast<float>(tc.k));
+    b.fill(0.5f);
+    (void)pdg::tesseract_atb_local(tc, a, b);
+  });
+  unsetenv("TESSERACT_COMPRESS_DEPTH");
+  DepthMeasured m;
+  const comm::CommStats total = world.total_stats();
+  m.total_bytes = total.bytes_sent;
+  m.sim_us = world.max_sim_time() * 1e6;
+  const auto it = total.collectives.find(compressed ? "all_reduce_compressed"
+                                                    : "all_reduce");
+  if (it != total.collectives.end()) {
+    m.depth_bytes = it->second.bytes;
+    m.depth_calls = it->second.calls;
+  }
+  return m;
 }
 
 }  // namespace
@@ -149,6 +188,36 @@ int main() {
       "never cross the depth dimension; this is the paper's Section 3.1\n"
       "argument, measured.\n");
 
+  // The bf16-compressed depth all-reduce (TESSERACT_COMPRESS_DEPTH) on the
+  // backward-pass A^T*B: the B' reduction is the only part that changes, so
+  // its collective bytes halve while everything else stays put.
+  std::printf("\n=== Compressed depth all-reduce, A^T*B [1536,192]x[1536,192] ===\n");
+  struct DepthRow {
+    const char* name;
+    int q, d;
+    bool compressed;
+    DepthMeasured m;
+  };
+  DepthRow depth_rows[] = {
+      {"fp32 depth  [2,2,2] (p=8)", 2, 2, false, measure_atb_depth(2, 2, false)},
+      {"bf16 depth  [2,2,2] (p=8)", 2, 2, true, measure_atb_depth(2, 2, true)},
+      {"fp32 depth  [4,4,2] (p=32)", 4, 2, false, measure_atb_depth(4, 2, false)},
+      {"bf16 depth  [4,4,2] (p=32)", 4, 2, true, measure_atb_depth(4, 2, true)},
+  };
+  std::printf("%-28s %14s %12s %12s\n", "configuration", "depth bytes",
+              "total bytes", "sim time us");
+  for (const DepthRow& r : depth_rows) {
+    std::printf("%-28s %14lld %12lld %12.1f\n", r.name,
+                static_cast<long long>(r.m.depth_bytes),
+                static_cast<long long>(r.m.total_bytes), r.m.sim_us);
+  }
+  for (std::size_t i = 0; i + 1 < std::size(depth_rows); i += 2) {
+    std::printf("  %s: depth wire bytes ratio fp32/bf16 = %.2fx\n",
+                depth_rows[i + 1].name,
+                static_cast<double>(depth_rows[i].m.depth_bytes) /
+                    static_cast<double>(depth_rows[i + 1].m.depth_bytes));
+  }
+
   // Where does the Tesseract[2,2,2] time actually go? Re-run the p = 8 GEMM
   // with tracing on and walk the chain of spans and wire hops that determined
   // the makespan. Tracing never advances a simulated clock, so the makespan
@@ -197,6 +266,47 @@ int main() {
     std::printf("\nwrote %s\n", out);
   } else {
     std::fprintf(stderr, "failed to write %s\n", out);
+  }
+
+  // The depth-compression rows ride in BENCH_kernel_variants.json alongside
+  // the per-variant GEMM sweep (bench_pdgemm_micro writes that file first in
+  // CI); when it is absent, start one with a fresh envelope.
+  const char* kv_path = "BENCH_kernel_variants.json";
+  obs::JsonValue kv_doc;
+  bool have_doc = false;
+  {
+    std::ifstream in(kv_path);
+    if (in) {
+      std::stringstream ss;
+      ss << in.rdbuf();
+      obs::JsonValue parsed = obs::json_parse(ss.str());
+      const obs::JsonValue* cases = parsed.find("cases");
+      if (cases != nullptr && cases->is_array()) {
+        kv_doc = std::move(parsed);
+        have_doc = true;
+      }
+    }
+  }
+  if (!have_doc) {
+    perf::BenchReport fresh("kernel_variants");
+    kv_doc = fresh.root();
+  }
+  for (const DepthRow& r : depth_rows) {
+    obs::JsonValue c = obs::JsonValue::object();
+    c["name"] = std::string("depth_allreduce: ") + r.name;
+    c["q"] = static_cast<std::int64_t>(r.q);
+    c["d"] = static_cast<std::int64_t>(r.d);
+    c["compressed"] = r.compressed;
+    c["depth_wire_bytes"] = r.m.depth_bytes;
+    c["depth_collective_calls"] = r.m.depth_calls;
+    c["total_wire_bytes"] = r.m.total_bytes;
+    c["sim_us"] = r.m.sim_us;
+    kv_doc["cases"].push_back(std::move(c));
+  }
+  if (obs::write_json_file(kv_path, kv_doc)) {
+    std::printf("appended depth-compression rows to %s\n", kv_path);
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", kv_path);
   }
   return 0;
 }

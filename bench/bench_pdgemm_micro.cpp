@@ -6,10 +6,14 @@
 // writes GFLOP/s + speedups to BENCH_pdgemm_micro.json.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <thread>
 #include <vector>
 
@@ -21,6 +25,7 @@
 #include "perf/export.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/init.hpp"
+#include "tensor/kernel_registry.hpp"
 
 using namespace tsr;
 
@@ -190,6 +195,119 @@ void run_worker_sweep() {
   }
 }
 
+// Kernel variant sweep: every registry entry forced in turn, timed on one
+// matmul size, and checked against its declared gate — memcmp variants must
+// match scalar bit for bit, tolerance variants must stay inside the bound
+// documented in docs/performance.md. Rows land in BENCH_kernel_variants.json
+// (bench_comm_volume appends its compression rows to the same file).
+void run_variant_sweep() {
+  const std::int64_t n = 256;
+  const int iters = 8;
+  // Positive data in [0.5, 1.5): no cancellation, so relative error against
+  // the scalar reference measures the variants' storage/rounding precision
+  // rather than the conditioning of the dot products (same recipe as
+  // tests/test_kernel_registry.cpp).
+  Tensor a({n, n});
+  Tensor b({n, n});
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    const std::uint32_t ha = (static_cast<std::uint32_t>(i) + 1u) * 2654435761u;
+    const std::uint32_t hb = (static_cast<std::uint32_t>(i) + 7u) * 2246822519u;
+    // Prime modulus: full-mantissa values, so products are inexact and the
+    // FMA/bf16/int8 rounding paths actually diverge from scalar.
+    a.data()[i] = 0.5f + static_cast<float>(ha % 4093u) / 4093.0f;
+    b.data()[i] = 0.5f + static_cast<float>(hb % 4093u) / 4093.0f;
+  }
+  const double flops = 2.0 * static_cast<double>(n) * n * n;
+
+  std::printf("\nkernel variant sweep (n=%lld, %d iters):\n",
+              static_cast<long long>(n), iters);
+  force_kernel_variant("scalar");
+  Tensor ref = matmul(a, b);
+
+  perf::BenchReport report("kernel_variants");
+  for (const KernelVariant& v : kernel_variants()) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "gemm_n256_%s", v.name);
+    obs::JsonValue& jc = report.add_case(name);
+    jc["variant"] = std::string(v.name);
+    jc["gate"] = std::string(v.gate);
+    if (!v.available(cpu_features())) {
+      jc["available"] = false;
+      std::printf("  %-8s unavailable on this host (%s)\n", v.name,
+                  cpu_features_string().c_str());
+      continue;
+    }
+    jc["available"] = true;
+    force_kernel_variant(v.name);
+    Tensor c = matmul(a, b);  // warm
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) c = matmul(a, b);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count() /
+                      iters;
+    const double gflops = flops / (ms * 1e6);
+    double max_rel = 0.0;
+    for (std::int64_t i = 0; i < c.numel(); ++i) {
+      const double r = std::fabs(static_cast<double>(ref.data()[i]));
+      max_rel = std::max(
+          max_rel, std::fabs(static_cast<double>(c.data()[i]) -
+                             static_cast<double>(ref.data()[i])) /
+                       std::max(r, 1e-6));
+    }
+    const bool identical =
+        std::memcmp(c.data(), ref.data(),
+                    static_cast<std::size_t>(c.numel()) * sizeof(float)) == 0;
+    // The verdict each variant ships with: memcmp variants must be
+    // bit-identical; tolerance variants must stay inside the documented
+    // bound (avx2fma 1e-5, bf16 2e-2, int8 5e-2 relative).
+    const double bound = std::strcmp(v.name, "avx2fma") == 0 ? 1e-5
+                         : std::strcmp(v.name, "bf16") == 0  ? 2e-2
+                                                             : 5e-2;
+    const bool pass =
+        std::strcmp(v.gate, "memcmp") == 0 ? identical : max_rel <= bound;
+    std::printf("  %-8s %8.2f ms  %7.2f GFLOP/s  %s (max rel err %.2e)\n",
+                v.name, ms, gflops,
+                pass ? (identical ? "bit-identical" : "within tolerance")
+                     : "GATE VIOLATION",
+                max_rel);
+    jc["wall_ms"] = ms;
+    jc["gflops"] = gflops;
+    jc["bit_identical_to_scalar"] = identical;
+    jc["max_rel_err_vs_scalar"] = max_rel;
+    jc["gate_pass"] = pass;
+  }
+  force_kernel_variant(nullptr);
+
+  const char* out = "BENCH_kernel_variants.json";
+  // bench_comm_volume appends its depth-compression rows to this file; when
+  // it ran first, carry its rows over instead of clobbering them, so the two
+  // benches can run in either order.
+  {
+    std::ifstream in(out);
+    if (in) {
+      std::stringstream ss;
+      ss << in.rdbuf();
+      const obs::JsonValue prior = obs::json_parse(ss.str());
+      if (const obs::JsonValue* cases = prior.find("cases");
+          cases != nullptr && cases->is_array()) {
+        for (const obs::JsonValue& c : cases->items()) {
+          const obs::JsonValue* cn = c.find("name");
+          if (cn != nullptr && cn->is_string() &&
+              cn->as_string().rfind("gemm_", 0) != 0) {
+            report.add_case(cn->as_string()) = c;
+          }
+        }
+      }
+    }
+  }
+  if (report.write(out)) {
+    std::printf("wrote %s\n", out);
+  } else {
+    std::fprintf(stderr, "failed to write %s\n", out);
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -198,5 +316,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   run_worker_sweep();
+  run_variant_sweep();
   return 0;
 }

@@ -2,19 +2,19 @@
 
 namespace tsr::comm {
 
-std::shared_ptr<std::vector<float>> BufferPool::acquire() {
+PayloadPtr BufferPool::acquire() {
   if (!free_.empty()) {
-    std::shared_ptr<std::vector<float>> buf = std::move(free_.back());
+    PayloadPtr buf = std::move(free_.back());
     free_.pop_back();
     buf->clear();
     ++reuses_;
     return buf;
   }
   ++allocations_;
-  return std::make_shared<std::vector<float>>();
+  return std::make_shared<Payload>();
 }
 
-void BufferPool::recycle(std::shared_ptr<std::vector<float>> buf) {
+void BufferPool::recycle(PayloadPtr buf) {
   // use_count() == 1 means nobody else can still read the payload — e.g. a
   // broadcast buffer shared between two children is pooled only by whichever
   // receiver drops the last reference.

@@ -15,18 +15,20 @@
 #include <memory>
 #include <vector>
 
+#include "comm/payload.hpp"
+
 namespace tsr::comm {
 
 class BufferPool {
  public:
   /// Returns an empty buffer, reusing a pooled one (capacity retained) when
   /// available. The caller fills it with assign()/resize().
-  std::shared_ptr<std::vector<float>> acquire();
+  PayloadPtr acquire();
 
   /// Returns a buffer to the free list if the caller holds the last
   /// reference and the pool has room; otherwise simply drops the reference.
   /// Null buffers are accepted (phantom messages have no payload).
-  void recycle(std::shared_ptr<std::vector<float>> buf);
+  void recycle(PayloadPtr buf);
 
   // Telemetry for tests and the self-perf benchmark.
   std::uint64_t allocations() const { return allocations_; }
@@ -37,7 +39,7 @@ class BufferPool {
   // Bounds pool memory; beyond this, retired buffers go back to the heap.
   static constexpr std::size_t kMaxFree = 256;
 
-  std::vector<std::shared_ptr<std::vector<float>>> free_;
+  std::vector<PayloadPtr> free_;
   std::uint64_t allocations_ = 0;
   std::uint64_t reuses_ = 0;
 };

@@ -6,6 +6,7 @@
 #include <iomanip>
 #include <stdexcept>
 
+#include "comm/compress.hpp"
 #include "fault/fault.hpp"
 #include "fault/injector.hpp"
 #include "obs/json.hpp"
@@ -13,6 +14,7 @@
 #include "runtime/cluster.hpp"
 #include "runtime/fiber.hpp"
 #include "runtime/worker_pool.hpp"
+#include "tensor/kernel_registry.hpp"
 
 namespace tsr::comm {
 namespace {
@@ -392,6 +394,11 @@ void World::run(const std::function<void(Communicator&)>& fn) {
     const rt::SchedulerStats after = rt::scheduler_stats();
     metrics_.gauge_set("runtime.scheduler.workers",
                        static_cast<double>(rt::configured_workers()));
+    // metric: kernel.variant
+    // Index of the active kernel variant in registry order (0 = scalar), so
+    // a metrics dump records which micro-kernel produced this run's math.
+    metrics_.gauge_set("kernel.variant",
+                       static_cast<double>(active_kernel_variant_index()));
     metrics_.counter_add("runtime.scheduler.resumes",
                          static_cast<std::int64_t>(after.resumes -
                                                    sched_before.resumes));
@@ -442,7 +449,7 @@ std::uint64_t Communicator::user_tag(std::uint64_t tag) const {
 
 void Communicator::send_msg(int dst_grank, std::uint64_t tag, const float* data,
                             std::int64_t count, std::int64_t wire_bytes) {
-  std::shared_ptr<std::vector<float>> payload;
+  PayloadPtr payload;
   if (data != nullptr) {
     payload = world_->pool(world_rank()).acquire();
     payload->assign(data, data + count);
@@ -451,7 +458,7 @@ void Communicator::send_msg(int dst_grank, std::uint64_t tag, const float* data,
 }
 
 void Communicator::send_msg(int dst_grank, std::uint64_t tag,
-                            std::shared_ptr<std::vector<float>> payload,
+                            PayloadPtr payload,
                             std::int64_t wire_bytes) {
   const int src_w = world_rank();
   const int dst_w = world_rank_of(dst_grank);
@@ -500,7 +507,7 @@ void Communicator::send_msg(int dst_grank, std::uint64_t tag,
     dup.arrival_time = m.arrival_time;
     dup.duplicate = true;
     if (m.payload != nullptr) {
-      dup.payload = std::make_shared<std::vector<float>>(*m.payload);
+      dup.payload = std::make_shared<Payload>(*m.payload);
     }
     if (link != topo::LinkType::Self) {
       // The spurious retransmission occupies the NIC a second time.
@@ -526,7 +533,7 @@ void Communicator::send_msg(int dst_grank, std::uint64_t tag,
   world_->mailbox(dst_w).push(std::move(m));
 }
 
-void Communicator::recycle(std::shared_ptr<std::vector<float>> payload) {
+void Communicator::recycle(PayloadPtr payload) {
   world_->pool(world_rank()).recycle(std::move(payload));
 }
 
@@ -622,7 +629,7 @@ void Communicator::send(int dst, std::uint64_t tag, std::span<const float> data)
            static_cast<std::int64_t>(data.size() * sizeof(float)));
 }
 
-std::vector<float> Communicator::recv(int src, std::uint64_t tag) {
+Payload Communicator::recv(int src, std::uint64_t tag) {
   Message m = recv_msg(src, user_tag(tag));
   check(m.payload != nullptr, "Communicator::recv: phantom message received");
   return std::move(*m.payload);
@@ -684,7 +691,7 @@ void Communicator::broadcast_impl(float* data, std::int64_t count,
     };
     // Phase 1 — scatter: rank c receives chunk c. The received buffer stays
     // live as this rank's first ring payload ("carry").
-    std::shared_ptr<std::vector<float>> carry;
+    PayloadPtr carry;
     if (grank_ == root) {
       for (int c = 0; c < g; ++c) {
         if (c == root) continue;
@@ -727,7 +734,7 @@ void Communicator::broadcast_impl(float* data, std::int64_t count,
   // One payload buffer serves the whole subtree: the root fills it once and
   // every forward to a child shares it (receivers only read), so the tree
   // moves the data with a single copy per rank instead of one per edge.
-  std::shared_ptr<std::vector<float>> buf;
+  PayloadPtr buf;
   if (data != nullptr && vr == 0) {
     buf = world_->pool(world_rank()).acquire();
     buf->assign(data, data + count);
@@ -792,7 +799,7 @@ void Communicator::reduce_impl(float* data, std::int64_t count,
     // in-place form bit-for-bit), so non-root `data` is never written.
     const int right = (grank_ + 1) % g;
     const int left = (grank_ - 1 + g) % g;
-    std::shared_ptr<std::vector<float>> carry;
+    PayloadPtr carry;
     if (real) {
       const int first_c = (grank_ - 1 + g) % g;
       carry = world_->pool(world_rank()).acquire();
@@ -897,7 +904,7 @@ void Communicator::all_reduce_impl(float* data, std::int64_t count,
   //
   // Phase 1 — ring reduce-scatter: after step s, the chunk received is
   // (rank - s - 1) mod g; rank r ends owning the fully-reduced chunk (r+1)%g.
-  std::shared_ptr<std::vector<float>> carry;
+  PayloadPtr carry;
   if (real) {
     carry = world_->pool(world_rank()).acquire();
     carry->assign(data + coffset(grank_),
@@ -943,6 +950,67 @@ void Communicator::phantom_all_reduce(std::int64_t bytes) {
   all_reduce_impl(nullptr, 0, bytes, ReduceOp::Sum);
 }
 
+void Communicator::all_reduce_compressed(std::span<float> data, ReduceOp op) {
+  float* d = data.data();
+  const std::int64_t count = static_cast<std::int64_t>(data.size());
+  // bf16 wire format: exactly 2 bytes per element, half of fp32.
+  const std::int64_t wire_total = 2 * count;
+  TraceSpan span(this, "all_reduce_compressed", wire_total);
+  const int g = size();
+  stats().record_collective("all_reduce_compressed", wire_total);
+  if (g == 1) return;
+  const std::uint64_t tag = next_tag();
+  const int right = (grank_ + 1) % g;
+  const int left = (grank_ - 1 + g) % g;
+
+  auto ccount = [&](int c) { return chunk_size(count, g, c); };
+  auto coffset = [&](int c) { return chunk_offset(count, g, c); };
+  auto cbytes = [&](int c) { return 2 * ccount(c); };
+
+  // Same zero-copy ring schedule as all_reduce_impl, but the circulating
+  // carry holds bf16 codes (two per float slot). Each reduce hop decodes
+  // into `scratch`, accumulates in fp32 with the LOCAL operand first (the
+  // operand order of apply_reduce), and re-encodes. The fully-reduced chunk
+  // is encoded exactly once after its last hop; phase 2 forwards those same
+  // encoded bits to every rank, so all ranks decode identical values no
+  // matter the backend or worker count.
+  PayloadPtr carry = world_->pool(world_rank()).acquire();
+  carry->resize(static_cast<std::size_t>(bf16_packed_count(ccount(grank_))));
+  bf16_compress(d + coffset(grank_), ccount(grank_), carry->data());
+  PayloadPtr scratch = world_->pool(world_rank()).acquire();
+
+  // Phase 1 — ring reduce-scatter over encoded chunks.
+  for (int s = 0; s < g - 1; ++s) {
+    const int send_c = (grank_ - s + 2 * g) % g;
+    const int recv_c = (grank_ - s - 1 + 2 * g) % g;
+    send_msg(right, tag, std::move(carry), cbytes(send_c));
+    Message m = recv_msg(left, tag);
+    carry = std::move(m.payload);
+    const std::int64_t n = ccount(recv_c);
+    scratch->resize(static_cast<std::size_t>(n));
+    bf16_decompress(carry->data(), n, scratch->data());
+    apply_reduce_into(op, scratch->data(), d + coffset(recv_c), n);
+    carry->resize(static_cast<std::size_t>(bf16_packed_count(n)));
+    bf16_compress(scratch->data(), n, carry->data());
+  }
+  // The owned chunk exists only as codes in `carry`; land its decoded form
+  // before circulating the codes themselves.
+  const int own = (grank_ + 1) % g;
+  bf16_decompress(carry->data(), ccount(own), d + coffset(own));
+
+  // Phase 2 — ring all-gather of the encoded owned chunks.
+  for (int s = 0; s < g - 1; ++s) {
+    const int send_c = (grank_ + 1 - s + 2 * g) % g;
+    const int recv_c = (grank_ - s + 2 * g) % g;
+    send_msg(right, tag, std::move(carry), cbytes(send_c));
+    Message m = recv_msg(left, tag);
+    carry = std::move(m.payload);
+    bf16_decompress(carry->data(), ccount(recv_c), d + coffset(recv_c));
+  }
+  recycle(std::move(carry));
+  recycle(std::move(scratch));
+}
+
 void Communicator::all_gather_impl(const float* local, float* out,
                                    std::int64_t chunk_count,
                                    std::int64_t chunk_bytes) {
@@ -960,7 +1028,7 @@ void Communicator::all_gather_impl(const float* local, float* out,
   const int left = (grank_ - 1 + g) % g;
   // Zero-copy ring: each received chunk is copied once into `out` and the
   // buffer itself is forwarded at the next step (it is the next send chunk).
-  std::shared_ptr<std::vector<float>> carry;
+  PayloadPtr carry;
   if (real) {
     carry = world_->pool(world_rank()).acquire();
     carry->assign(local, local + chunk_count);
@@ -1021,7 +1089,7 @@ void Communicator::reduce_scatter_impl(const float* data, float* out,
   // accumulate in the circulating buffers (per-hop operand order matches the
   // old in-place form bit-for-bit) and the final hop writes `out` directly,
   // so the caller's `data` is never modified.
-  std::shared_ptr<std::vector<float>> carry;
+  PayloadPtr carry;
   if (real) {
     const int first_c = (grank_ - 1 + g) % g;
     carry = world_->pool(world_rank()).acquire();

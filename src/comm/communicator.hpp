@@ -277,7 +277,7 @@ class Communicator {
   /// Buffered (non-rendezvous) send; `tag` is a user tag scoped to this
   /// communicator. dst/src are group ranks.
   void send(int dst, std::uint64_t tag, std::span<const float> data);
-  std::vector<float> recv(int src, std::uint64_t tag);
+  Payload recv(int src, std::uint64_t tag);
   /// Simultaneous shift: sends to `dst` and receives from `src` (both group
   /// ranks). Send is buffered, so exchanges cannot deadlock.
   void sendrecv(int dst, std::span<const float> send_data, int src,
@@ -301,6 +301,13 @@ class Communicator {
   /// (reduction happens in the circulating message buffers, never in `data`).
   void reduce_scatter(std::span<const float> data, std::span<float> out,
                       ReduceOp op = ReduceOp::Sum);
+  /// all_reduce with bf16-compressed wire chunks (comm/compress.hpp): the
+  /// ring schedule of all_reduce, but every hop carries bf16 codes — half
+  /// the wire bytes — decoded and accumulated in fp32 at each step. All
+  /// ranks decode the same encoded bits, so the result is identical on
+  /// every rank and across scheduler backends; it differs from the
+  /// uncompressed reduction by bf16 storage rounding only.
+  void all_reduce_compressed(std::span<float> data, ReduceOp op = ReduceOp::Sum);
   void gather(std::span<const float> local, std::span<float> out, int root);
   void scatter(std::span<const float> in, std::span<float> local, int root);
   /// in/out sized size() * chunk; chunk for group rank r at offset r*chunk.
@@ -370,12 +377,11 @@ class Communicator {
   // the message (zero copy — how ring collectives forward chunks).
   void send_msg(int dst_grank, std::uint64_t tag, const float* data,
                 std::int64_t count, std::int64_t wire_bytes);
-  void send_msg(int dst_grank, std::uint64_t tag,
-                std::shared_ptr<std::vector<float>> payload,
+  void send_msg(int dst_grank, std::uint64_t tag, PayloadPtr payload,
                 std::int64_t wire_bytes);
   Message recv_msg(int src_grank, std::uint64_t tag);
   // Returns a consumed payload to this rank's buffer pool.
-  void recycle(std::shared_ptr<std::vector<float>> payload);
+  void recycle(PayloadPtr payload);
 
   // Shared implementations of the real/phantom twins. For real calls,
   // data != nullptr and wire bytes derive from counts; for phantom calls,

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/payload.hpp"
 #include "runtime/fiber.hpp"
 
 namespace tsr::comm {
@@ -37,7 +38,7 @@ struct Message {
   int src = 0;
   std::uint64_t tag = 0;
   /// Payload; null for phantom messages.
-  std::shared_ptr<std::vector<float>> payload;
+  PayloadPtr payload;
   /// Bytes this message represents on the wire (payload bytes for real
   /// messages; the declared size for phantom messages).
   std::int64_t wire_bytes = 0;

@@ -1,0 +1,20 @@
+// Message payload storage type.
+//
+// Payloads are float vectors over kTensorAlignment-aligned storage, so a
+// received buffer can be handed straight to a SIMD kernel variant (or to
+// Tensor::from) without a realignment copy. One alias keeps the whole
+// zero-copy message path — mailbox, buffer pool, communicator — agreeing
+// on the allocator.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "tensor/aligned.hpp"
+
+namespace tsr::comm {
+
+using Payload = std::vector<float, AlignedAllocator<float>>;
+using PayloadPtr = std::shared_ptr<Payload>;
+
+}  // namespace tsr::comm

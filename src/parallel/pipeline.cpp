@@ -67,8 +67,9 @@ std::vector<Tensor> TesseractPipeline::forward(
       check(x.shape() == local_shape(),
             "TesseractPipeline::forward: micro input shard shape mismatch");
     } else {
-      std::vector<float> buf = all_.recv(all_.rank() - gsize, fwd_tag(m));
-      x = Tensor::from(std::move(buf), local_shape());
+      comm::Payload buf = all_.recv(all_.rank() - gsize, fwd_tag(m));
+      x = Tensor::from(std::span<const float>(buf.data(), buf.size()),
+                       local_shape());
     }
     for (std::size_t l = 0; l < layers_.size(); ++l) {
       if (cfg_.activation_checkpointing) {
@@ -114,8 +115,9 @@ std::vector<Tensor> TesseractPipeline::backward(
       check(dy.shape() == local_shape(),
             "TesseractPipeline::backward: micro grad shard shape mismatch");
     } else {
-      std::vector<float> buf = all_.recv(all_.rank() + gsize, bwd_tag(m));
-      dy = Tensor::from(std::move(buf), local_shape());
+      comm::Payload buf = all_.recv(all_.rank() + gsize, bwd_tag(m));
+      dy = Tensor::from(std::span<const float>(buf.data(), buf.size()),
+                        local_shape());
     }
     for (std::size_t l = layers_.size(); l-- > 0;) {
       if (cfg_.activation_checkpointing) {

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "comm/compress.hpp"
 #include "tensor/kernels.hpp"
 
 namespace tsr::par {
@@ -97,7 +98,13 @@ Tensor TesseractLayerNorm::backward(const Tensor& dy_local) {
   // Keep the gamma/beta replicas consistent: their rows are spread over the
   // grid column and the depth line.
   ctx_->comms().col.all_reduce(gb);
-  if (ctx_->d() > 1) ctx_->comms().depth.all_reduce(gb);
+  if (ctx_->d() > 1) {
+    if (comm::compress_depth_enabled()) {
+      ctx_->comms().depth.all_reduce_compressed(gb);
+    } else {
+      ctx_->comms().depth.all_reduce(gb);
+    }
+  }
   for (std::int64_t i = 0; i < lf; ++i) {
     gamma.grad.at(i) += gb[static_cast<std::size_t>(i)];
     beta.grad.at(i) += gb[static_cast<std::size_t>(lf + i)];

@@ -1,5 +1,6 @@
 #include "parallel/tesseract_linear.hpp"
 
+#include "comm/compress.hpp"
 #include "pdgemm/tesseract_mm.hpp"
 #include "tensor/init.hpp"
 #include "tensor/kernels.hpp"
@@ -84,7 +85,13 @@ Tensor TesseractLinear::backward(const Tensor& dy_local) {
     Tensor db = bias_grad(dym);
     ctx_->comms().col.reduce(db, /*root=*/0);
     if (ctx_->i() == 0) {
-      if (ctx_->d() > 1) ctx_->comms().depth.all_reduce(db);
+      if (ctx_->d() > 1) {
+        if (comm::compress_depth_enabled()) {
+          ctx_->comms().depth.all_reduce_compressed(db.span());
+        } else {
+          ctx_->comms().depth.all_reduce(db);
+        }
+      }
       axpy(1.0f, db, b.grad);
     }
   }

@@ -6,6 +6,8 @@
 
 #include "fault/fault.hpp"
 #include "runtime/fiber.hpp"
+#include "tensor/cpu_features.hpp"
+#include "tensor/kernel_registry.hpp"
 
 namespace tsr::perf {
 
@@ -21,6 +23,10 @@ void stamp_envelope(obs::JsonValue& root, const std::string& kind) {
   root["workers"] = static_cast<std::int64_t>(workers);
   root["host_cores"] =
       static_cast<std::int64_t>(std::thread::hardware_concurrency());
+  // Which micro-kernel produced the math and what the host could run:
+  // cross-machine BENCH comparisons need both to name the hardware tier.
+  root["kernel_variant"] = std::string(active_kernel_variant().name);
+  root["cpu_features"] = cpu_features_string();
   // Unlike the host fields above, the fault-plan fingerprint describes the
   // *experiment*, so diffing does NOT skip it: comparing runs under
   // different plans fails loudly instead of reading as numeric drift.

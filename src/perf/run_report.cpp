@@ -441,6 +441,12 @@ std::string RunReport::run_report_summary(const obs::JsonValue& doc) {
   if (const obs::JsonValue* backend = doc.find("backend")) {
     if (backend->is_string()) os << ", backend " << backend->as_string();
   }
+  if (const obs::JsonValue* kv = doc.find("kernel_variant")) {
+    if (kv->is_string()) os << ", kernel " << kv->as_string();
+  }
+  if (const obs::JsonValue* cf = doc.find("cpu_features")) {
+    if (cf->is_string()) os << " (" << cf->as_string() << ")";
+  }
   os << "\n";
 
   if (const obs::JsonValue* attr = doc.find("attribution")) {
@@ -743,7 +749,8 @@ namespace {
 // Envelope fields that describe the host environment, not simulated results.
 bool skip_at_root(const std::string& key) {
   return key == "backend" || key == "workers" || key == "host_cores" ||
-         key == "run_label" || key == "name";
+         key == "run_label" || key == "name" || key == "kernel_variant" ||
+         key == "cpu_features";
 }
 
 // Exact comparison: the metrics registry shards recordings per rank and

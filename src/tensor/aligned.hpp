@@ -1,0 +1,55 @@
+// 64-byte-aligned allocation, shared by Tensor storage, the GEMM pack
+// arenas, and the communicator's payload buffers.
+//
+// Every SIMD kernel variant in the registry (see kernel_registry.hpp) may
+// assume its operands start on a cache-line boundary: aligned bases never
+// split a cache line on a vector load even when the kernels use unaligned
+// load instructions, and a future variant can opt into aligned-only
+// instructions without re-plumbing the allocation paths.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+
+namespace tsr {
+
+/// Alignment (bytes) of every float buffer that can reach a SIMD kernel:
+/// one x86 cache line, and the natural alignment of an AVX-512 register.
+inline constexpr std::size_t kTensorAlignment = 64;
+
+/// True when `p` sits on a kTensorAlignment boundary.
+inline bool is_tensor_aligned(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % kTensorAlignment == 0;
+}
+
+/// Minimal std::allocator drop-in returning kTensorAlignment-aligned
+/// storage; makes std::vector<float, AlignedAllocator<float>> usable
+/// anywhere a plain float vector was.
+template <typename T>
+struct AlignedAllocator {
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U>&) {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{kTensorAlignment}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{kTensorAlignment});
+  }
+
+  template <typename U>
+  bool operator==(const AlignedAllocator<U>&) const {
+    return true;
+  }
+  template <typename U>
+  bool operator!=(const AlignedAllocator<U>&) const {
+    return false;
+  }
+};
+
+}  // namespace tsr

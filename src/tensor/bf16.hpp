@@ -1,0 +1,41 @@
+// bfloat16 <-> float32 conversion (storage format only — all arithmetic in
+// this library stays fp32).
+//
+// bf16 is the top 16 bits of an IEEE-754 binary32: same 8-bit exponent,
+// 7 explicit mantissa bits. Encoding uses round-to-nearest-even on the
+// truncated mantissa half, so the round trip float -> bf16 -> float has a
+// relative error of at most 2^-8 for normal values (half an ulp at 7
+// mantissa bits), and every bf16 value decodes back to itself exactly.
+// Both directions are pure bit manipulation: no FP environment dependence,
+// deterministic on every backend.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace tsr {
+
+/// Encodes to bf16 with round-to-nearest-even. NaN payloads may collapse
+/// (the rounding add can carry into the exponent), but NaN stays NaN and
+/// +-inf stays +-inf.
+inline std::uint16_t f32_to_bf16(float x) {
+  std::uint32_t u;
+  std::memcpy(&u, &x, sizeof(u));
+  // Round to nearest even on bit 16: add 0x7fff plus the current LSB of the
+  // surviving mantissa, then truncate.
+  u += 0x7fffu + ((u >> 16) & 1u);
+  return static_cast<std::uint16_t>(u >> 16);
+}
+
+/// Decodes bf16 (exact: bf16 values are a subset of binary32).
+inline float bf16_to_f32(std::uint16_t h) {
+  const std::uint32_t u = static_cast<std::uint32_t>(h) << 16;
+  float x;
+  std::memcpy(&x, &u, sizeof(x));
+  return x;
+}
+
+/// One round trip: the value the bf16 storage formats actually represent.
+inline float bf16_round(float x) { return bf16_to_f32(f32_to_bf16(x)); }
+
+}  // namespace tsr

@@ -1,0 +1,25 @@
+// Runtime CPU feature detection for the kernel variant registry.
+//
+// Detection happens once per process via the compiler's cpuid intrinsics
+// (__builtin_cpu_supports); the baseline build stays plain x86-64, and SIMD
+// variants are compiled with per-function target attributes so the binary
+// runs unchanged on hosts without AVX.
+#pragma once
+
+#include <string>
+
+namespace tsr {
+
+struct CpuFeatures {
+  bool avx2 = false;
+  bool avx512f = false;
+};
+
+/// Features of the host this process runs on (detected once, cached).
+const CpuFeatures& cpu_features();
+
+/// Compact human-readable list ("avx2,avx512f" / "baseline") for report
+/// envelopes — lets cross-machine BENCH comparisons name the hardware tier.
+std::string cpu_features_string();
+
+}  // namespace tsr

@@ -6,19 +6,27 @@
 #include <vector>
 
 #include "runtime/worker_pool.hpp"
+#include "tensor/aligned.hpp"
+#include "tensor/kernel_registry.hpp"
 
 namespace tsr {
 namespace {
 
-// Packed, cache-blocked GEMM built around one register-tile micro-kernel.
+// Packed, cache-blocked GEMM built around one register-tile micro-kernel,
+// selected per call from the kernel variant registry (kernel_registry.hpp):
+// the variant supplies the micro-kernel, its register tile width nr, and an
+// optional storage-precision hook applied at pack time (bf16). Variants
+// whose math does not fit the packed fp32 scheme (int8) override the whole
+// kernel instead via gemm_full.
 //
-// Both operands are repacked into contiguous [k][kMR] / [k][kNR] micro-panels
+// Both operands are repacked into contiguous [k][kMR] / [k][nr] micro-panels
 // so the inner loops run at unit stride regardless of the original leading
-// dimensions, and an kMR x kNR accumulator block lives in registers across
-// the whole k extent of a panel (#pragma omp simd vectorizes the jj lane).
+// dimensions, and a kMR x nr accumulator block lives in registers across
+// the whole k extent of a panel.
 //
-// Numerics are bit-identical to the scalar loops this replaces. Two rounding
-// disciplines exist and are preserved exactly:
+// Numerics of the memcmp-gated variants are bit-identical to the scalar
+// loops this replaces. Two rounding disciplines exist and are preserved
+// exactly:
 //   * update form (N/N, T/N): every k-term is accumulated straight into C
 //     in ascending k order, with alpha folded into the packed A element —
 //     the accumulator register block is loaded FROM C per k-panel, so the
@@ -27,11 +35,14 @@ namespace {
 //     a zeroed accumulator and applied once as c += alpha * acc; k is
 //     deliberately not blocked here, because splitting the sum would change
 //     the rounding.
-constexpr std::int64_t kMR = 4;    // register tile rows
-constexpr std::int64_t kNR = 8;    // register tile cols (two SSE vectors)
-constexpr std::int64_t kKC = 64;   // k-panel depth (update form only)
-constexpr std::int64_t kMC = 64;   // i-panel height
-constexpr std::int64_t kNC = 256;  // j-panel width
+// The tile width nr does not appear in either discipline, which is why the
+// 16-wide AVX-512 variant can still be memcmp-identical to the 8-wide
+// scalar reference.
+constexpr std::int64_t kMR = kMicroMR;  // register tile rows (all variants)
+constexpr std::int64_t kNRMax = 16;     // widest tile in the registry
+constexpr std::int64_t kKC = 64;        // k-panel depth (update form only)
+constexpr std::int64_t kMC = 64;        // i-panel height
+constexpr std::int64_t kNC = 256;       // j-panel width
 
 std::int64_t round_up(std::int64_t x, std::int64_t q) {
   return (x + q - 1) / q * q;
@@ -40,17 +51,20 @@ std::int64_t round_up(std::int64_t x, std::int64_t q) {
 // Packs op(A)[i0:i0+mc][k0:k0+kc] as ceil(mc/kMR) micro-panels of layout
 // [kk][kMR], each element scaled by `scale`, short panels zero-padded.
 // trans: element (i, kk) of op(A) is a[kk*lda + i] instead of a[i*lda + kk].
+// `q` is the variant's storage-precision hook (bf16 rounding), applied to
+// the raw element BEFORE the alpha scale so the scale stays fp32-exact.
 void pack_a(bool trans, const float* a, std::int64_t lda, std::int64_t i0,
             std::int64_t k0, std::int64_t mc, std::int64_t kc, float scale,
-            float* dst) {
+            PackQuantizeFn q, float* dst) {
   for (std::int64_t ip = 0; ip < mc; ip += kMR) {
     const std::int64_t mr = std::min(kMR, mc - ip);
     for (std::int64_t kk = 0; kk < kc; ++kk) {
       for (std::int64_t ii = 0; ii < mr; ++ii) {
         const std::int64_t i = i0 + ip + ii;
         const std::int64_t kg = k0 + kk;
-        dst[kk * kMR + ii] =
-            scale * (trans ? a[kg * lda + i] : a[i * lda + kg]);
+        float e = trans ? a[kg * lda + i] : a[i * lda + kg];
+        if (q != nullptr) e = q(e);
+        dst[kk * kMR + ii] = scale * e;
       }
       for (std::int64_t ii = mr; ii < kMR; ++ii) dst[kk * kMR + ii] = 0.0f;
     }
@@ -58,40 +72,25 @@ void pack_a(bool trans, const float* a, std::int64_t lda, std::int64_t i0,
   }
 }
 
-// Packs op(B)[k0:k0+kc][j0:j0+nc] as ceil(nc/kNR) micro-panels of layout
-// [kk][kNR], short panels zero-padded.
+// Packs op(B)[k0:k0+kc][j0:j0+nc] as ceil(nc/vnr) micro-panels of layout
+// [kk][vnr], short panels zero-padded.
 // trans: element (kk, j) of op(B) is b[j*ldb + kk] instead of b[kk*ldb + j].
 void pack_b(bool trans, const float* b, std::int64_t ldb, std::int64_t k0,
-            std::int64_t j0, std::int64_t kc, std::int64_t nc, float* dst) {
-  for (std::int64_t jp = 0; jp < nc; jp += kNR) {
-    const std::int64_t nr = std::min(kNR, nc - jp);
+            std::int64_t j0, std::int64_t kc, std::int64_t nc,
+            std::int64_t vnr, PackQuantizeFn q, float* dst) {
+  for (std::int64_t jp = 0; jp < nc; jp += vnr) {
+    const std::int64_t nr = std::min(vnr, nc - jp);
     for (std::int64_t kk = 0; kk < kc; ++kk) {
       for (std::int64_t jj = 0; jj < nr; ++jj) {
         const std::int64_t j = j0 + jp + jj;
         const std::int64_t kg = k0 + kk;
-        dst[kk * kNR + jj] = trans ? b[j * ldb + kg] : b[kg * ldb + j];
+        float e = trans ? b[j * ldb + kg] : b[kg * ldb + j];
+        if (q != nullptr) e = q(e);
+        dst[kk * vnr + jj] = e;
       }
-      for (std::int64_t jj = nr; jj < kNR; ++jj) dst[kk * kNR + jj] = 0.0f;
+      for (std::int64_t jj = nr; jj < vnr; ++jj) dst[kk * vnr + jj] = 0.0f;
     }
-    dst += kc * kNR;
-  }
-}
-
-// Rank-kc update of the register tile: acc[ii][jj] += ap[kk][ii] * bp[kk][jj]
-// for kk ascending. Pad lanes hold zeros from packing, so running the full
-// kMR x kNR block is safe; callers store only the live mr x nr corner.
-inline void micro_kernel(std::int64_t kc, const float* ap, const float* bp,
-                         float acc[kMR][kNR]) {
-  for (std::int64_t kk = 0; kk < kc; ++kk) {
-    const float* arow = ap + kk * kMR;
-    const float* brow = bp + kk * kNR;
-    for (std::int64_t ii = 0; ii < kMR; ++ii) {
-      const float aik = arow[ii];
-#pragma omp simd
-      for (std::int64_t jj = 0; jj < kNR; ++jj) {
-        acc[ii][jj] += aik * brow[jj];
-      }
-    }
+    dst += kc * vnr;
   }
 }
 
@@ -101,13 +100,15 @@ inline void micro_kernel(std::int64_t kc, const float* ap, const float* bp,
 // streams allocate nothing. The allocation/reuse counters are the proof —
 // the same pattern comm::BufferPool uses — aggregated process-wide for
 // gemm_scratch_stats(). Safe under the fiber backend: a fiber never yields
-// mid-kernel and never migrates between worker threads.
+// mid-kernel and never migrates between worker threads. The arenas are
+// kTensorAlignment-aligned so SIMD variants stream cache-line-aligned
+// panels.
 std::atomic<std::uint64_t> g_scratch_allocs{0};
 std::atomic<std::uint64_t> g_scratch_reuses{0};
 
 struct PackScratch {
-  std::vector<float> apack;
-  std::vector<float> bpack;
+  std::vector<float, AlignedAllocator<float>> apack;
+  std::vector<float, AlignedAllocator<float>> bpack;
 
   // One acquisition per gemm kernel invocation on this thread: an
   // allocation if either panel buffer had to grow, a reuse otherwise.
@@ -126,41 +127,43 @@ thread_local PackScratch t_scratch;
 // Update form (N/N and T/N) over the output columns [jb, je): C += (alpha *
 // op(A)) * op(B), accumulating into C per k-panel with k strictly ascending.
 // The full kernel is gemm_update_cols(0, n); a parallel caller hands each
-// worker a disjoint kNR-aligned column stripe. Per C element the
+// worker a disjoint nr-aligned column stripe. Per C element the
 // floating-point sequence depends only on the k blocking, so any column
 // partition produces bit-identical results.
-void gemm_update_cols(bool a_trans, bool b_trans, std::int64_t m,
-                      std::int64_t k, float alpha, const float* a,
-                      std::int64_t lda, const float* b, std::int64_t ldb,
-                      float* c, std::int64_t ldc, std::int64_t jb,
-                      std::int64_t je) {
-  t_scratch.acquire(round_up(kMC, kMR) * kKC, round_up(kNC, kNR) * kKC);
+void gemm_update_cols(const KernelVariant& v, bool a_trans, bool b_trans,
+                      std::int64_t m, std::int64_t k, float alpha,
+                      const float* a, std::int64_t lda, const float* b,
+                      std::int64_t ldb, float* c, std::int64_t ldc,
+                      std::int64_t jb, std::int64_t je) {
+  const std::int64_t vnr = v.nr;
+  t_scratch.acquire(round_up(kMC, kMR) * kKC, round_up(kNC, vnr) * kKC);
   float* apack = t_scratch.apack.data();
   float* bpack = t_scratch.bpack.data();
   for (std::int64_t k0 = 0; k0 < k; k0 += kKC) {
     const std::int64_t kc = std::min(kKC, k - k0);
     for (std::int64_t j0 = jb; j0 < je; j0 += kNC) {
       const std::int64_t nc = std::min(kNC, je - j0);
-      pack_b(b_trans, b, ldb, k0, j0, kc, nc, bpack);
+      pack_b(b_trans, b, ldb, k0, j0, kc, nc, vnr, v.quantize, bpack);
       for (std::int64_t i0 = 0; i0 < m; i0 += kMC) {
         const std::int64_t mc = std::min(kMC, m - i0);
-        pack_a(a_trans, a, lda, i0, k0, mc, kc, alpha, apack);
+        pack_a(a_trans, a, lda, i0, k0, mc, kc, alpha, v.quantize, apack);
         for (std::int64_t ip = 0; ip < mc; ip += kMR) {
           const std::int64_t mr = std::min(kMR, mc - ip);
-          for (std::int64_t jp = 0; jp < nc; jp += kNR) {
-            const std::int64_t nr = std::min(kNR, nc - jp);
-            float acc[kMR][kNR] = {};
+          for (std::int64_t jp = 0; jp < nc; jp += vnr) {
+            const std::int64_t nr = std::min(vnr, nc - jp);
+            alignas(kTensorAlignment) float acc[kMR * kNRMax];
+            std::fill(acc, acc + kMR * vnr, 0.0f);
             float* cblk = c + (i0 + ip) * ldc + j0 + jp;
             for (std::int64_t ii = 0; ii < mr; ++ii) {
               for (std::int64_t jj = 0; jj < nr; ++jj) {
-                acc[ii][jj] = cblk[ii * ldc + jj];
+                acc[ii * vnr + jj] = cblk[ii * ldc + jj];
               }
             }
-            micro_kernel(kc, apack + (ip / kMR) * kc * kMR,
-                         bpack + (jp / kNR) * kc * kNR, acc);
+            v.micro(kc, apack + (ip / kMR) * kc * kMR,
+                    bpack + (jp / vnr) * kc * vnr, acc);
             for (std::int64_t ii = 0; ii < mr; ++ii) {
               for (std::int64_t jj = 0; jj < nr; ++jj) {
-                cblk[ii * ldc + jj] = acc[ii][jj];
+                cblk[ii * ldc + jj] = acc[ii * vnr + jj];
               }
             }
           }
@@ -172,30 +175,33 @@ void gemm_update_cols(bool a_trans, bool b_trans, std::int64_t m,
 
 // Dot form (N/T and T/T) over the output columns [jb, je): acc = op(A) .
 // op(B) over the full k extent, then C += alpha * acc once per element.
-void gemm_dot_cols(bool a_trans, bool b_trans, std::int64_t m, std::int64_t k,
-                   float alpha, const float* a, std::int64_t lda,
-                   const float* b, std::int64_t ldb, float* c,
-                   std::int64_t ldc, std::int64_t jb, std::int64_t je) {
-  t_scratch.acquire(round_up(kMC, kMR) * k, round_up(kNC, kNR) * k);
+void gemm_dot_cols(const KernelVariant& v, bool a_trans, bool b_trans,
+                   std::int64_t m, std::int64_t k, float alpha, const float* a,
+                   std::int64_t lda, const float* b, std::int64_t ldb,
+                   float* c, std::int64_t ldc, std::int64_t jb,
+                   std::int64_t je) {
+  const std::int64_t vnr = v.nr;
+  t_scratch.acquire(round_up(kMC, kMR) * k, round_up(kNC, vnr) * k);
   float* apack = t_scratch.apack.data();
   float* bpack = t_scratch.bpack.data();
   for (std::int64_t j0 = jb; j0 < je; j0 += kNC) {
     const std::int64_t nc = std::min(kNC, je - j0);
-    pack_b(b_trans, b, ldb, 0, j0, k, nc, bpack);
+    pack_b(b_trans, b, ldb, 0, j0, k, nc, vnr, v.quantize, bpack);
     for (std::int64_t i0 = 0; i0 < m; i0 += kMC) {
       const std::int64_t mc = std::min(kMC, m - i0);
-      pack_a(a_trans, a, lda, i0, 0, mc, k, 1.0f, apack);
+      pack_a(a_trans, a, lda, i0, 0, mc, k, 1.0f, v.quantize, apack);
       for (std::int64_t ip = 0; ip < mc; ip += kMR) {
         const std::int64_t mr = std::min(kMR, mc - ip);
-        for (std::int64_t jp = 0; jp < nc; jp += kNR) {
-          const std::int64_t nr = std::min(kNR, nc - jp);
-          float acc[kMR][kNR] = {};
-          micro_kernel(k, apack + (ip / kMR) * k * kMR,
-                       bpack + (jp / kNR) * k * kNR, acc);
+        for (std::int64_t jp = 0; jp < nc; jp += vnr) {
+          const std::int64_t nr = std::min(vnr, nc - jp);
+          alignas(kTensorAlignment) float acc[kMR * kNRMax];
+          std::fill(acc, acc + kMR * vnr, 0.0f);
+          v.micro(k, apack + (ip / kMR) * k * kMR,
+                  bpack + (jp / vnr) * k * vnr, acc);
           float* cblk = c + (i0 + ip) * ldc + j0 + jp;
           for (std::int64_t ii = 0; ii < mr; ++ii) {
             for (std::int64_t jj = 0; jj < nr; ++jj) {
-              cblk[ii * ldc + jj] += alpha * acc[ii][jj];
+              cblk[ii * ldc + jj] += alpha * acc[ii * vnr + jj];
             }
           }
         }
@@ -207,23 +213,23 @@ void gemm_dot_cols(bool a_trans, bool b_trans, std::int64_t m, std::int64_t k,
 // Below this, fan-out overhead beats the win even on a wide host.
 constexpr std::int64_t kMinParallelFlops = 1 << 20;
 
-// Dispatches the column range either serially or as disjoint kNR-aligned
+// Dispatches the column range either serially or as disjoint nr-aligned
 // stripes over the persistent worker pool. Each worker owns its stripe of C
 // outright and packs into its own thread-local arena; per-element FP
 // sequences are independent of the partition, so results are bit-identical
 // for every worker count (and to the serial kernel).
 template <typename ColsFn>
-void run_cols(std::int64_t m, std::int64_t n, std::int64_t k,
+void run_cols(std::int64_t m, std::int64_t n, std::int64_t k, std::int64_t vnr,
               const ColsFn& cols) {
   const int budget = rt::gemm_parallelism();
-  if (budget <= 1 || 2 * m * n * k < kMinParallelFlops || n < 2 * kNR) {
+  if (budget <= 1 || 2 * m * n * k < kMinParallelFlops || n < 2 * vnr) {
     cols(0, n);
     return;
   }
   // Stripe width: split n across the budget with 2x oversplit for load
   // balance, but never below a register tile nor above the cache panel.
   std::int64_t stripe =
-      round_up((n + 2 * budget - 1) / (2 * budget), kNR);
+      round_up((n + 2 * budget - 1) / (2 * budget), vnr);
   if (stripe > kNC) stripe = kNC;
   const int nstripes = static_cast<int>((n + stripe - 1) / stripe);
   rt::WorkerPool::instance().parallel_for(
@@ -254,15 +260,21 @@ void gemm(Trans ta, Trans tb, std::int64_t m, std::int64_t n, std::int64_t k,
   }
   if (m == 0 || n == 0 || k == 0 || alpha == 0.0f) return;
 
+  const KernelVariant& v = active_kernel_variant();
+  if (v.gemm_full != nullptr) {
+    v.gemm_full(ta == Trans::T, tb == Trans::T, m, n, k, alpha, a, lda, b,
+                ldb, c, ldc);
+    return;
+  }
   if (tb == Trans::N) {
-    run_cols(m, n, k, [&](std::int64_t jb, std::int64_t je) {
-      gemm_update_cols(ta == Trans::T, false, m, k, alpha, a, lda, b, ldb, c,
-                       ldc, jb, je);
+    run_cols(m, n, k, v.nr, [&](std::int64_t jb, std::int64_t je) {
+      gemm_update_cols(v, ta == Trans::T, false, m, k, alpha, a, lda, b, ldb,
+                       c, ldc, jb, je);
     });
   } else {
-    run_cols(m, n, k, [&](std::int64_t jb, std::int64_t je) {
-      gemm_dot_cols(ta == Trans::T, true, m, k, alpha, a, lda, b, ldb, c, ldc,
-                    jb, je);
+    run_cols(m, n, k, v.nr, [&](std::int64_t jb, std::int64_t je) {
+      gemm_dot_cols(v, ta == Trans::T, true, m, k, alpha, a, lda, b, ldb, c,
+                    ldc, jb, je);
     });
   }
 }

@@ -1,0 +1,283 @@
+#include "tensor/kernel_registry.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "tensor/bf16.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define TSR_X86 1
+#endif
+
+namespace tsr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Micro-kernels. The bit-identity discipline (docs/performance.md): per
+// output element the FP sequence is `acc += a * b` with kk ascending, and
+// the baseline build has no FMA contraction, so any variant that keeps
+// multiply and add as separate rounded operations per element is
+// memcmp-identical to scalar regardless of tile width.
+// ---------------------------------------------------------------------------
+
+void micro_scalar(std::int64_t kc, const float* ap, const float* bp,
+                  float* acc) {
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const float* arow = ap + kk * kMicroMR;
+    const float* brow = bp + kk * 8;
+    for (std::int64_t ii = 0; ii < kMicroMR; ++ii) {
+      const float aik = arow[ii];
+#pragma omp simd
+      for (std::int64_t jj = 0; jj < 8; ++jj) {
+        acc[ii * 8 + jj] += aik * brow[jj];
+      }
+    }
+  }
+}
+
+void axpy_scalar(float alpha, const float* x, float* y, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scale_scalar(float* x, float alpha, std::int64_t n) {
+  for (std::int64_t i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+#ifdef TSR_X86
+
+// AVX2 4x8 tile, separate mul+add — bit-identical to micro_scalar.
+__attribute__((target("avx2"))) void micro_avx2(std::int64_t kc,
+                                                const float* ap,
+                                                const float* bp, float* acc) {
+  __m256 c0 = _mm256_loadu_ps(acc);
+  __m256 c1 = _mm256_loadu_ps(acc + 8);
+  __m256 c2 = _mm256_loadu_ps(acc + 16);
+  __m256 c3 = _mm256_loadu_ps(acc + 24);
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const __m256 b = _mm256_loadu_ps(bp + kk * 8);
+    const float* arow = ap + kk * 4;
+    c0 = _mm256_add_ps(c0, _mm256_mul_ps(_mm256_broadcast_ss(arow + 0), b));
+    c1 = _mm256_add_ps(c1, _mm256_mul_ps(_mm256_broadcast_ss(arow + 1), b));
+    c2 = _mm256_add_ps(c2, _mm256_mul_ps(_mm256_broadcast_ss(arow + 2), b));
+    c3 = _mm256_add_ps(c3, _mm256_mul_ps(_mm256_broadcast_ss(arow + 3), b));
+  }
+  _mm256_storeu_ps(acc, c0);
+  _mm256_storeu_ps(acc + 8, c1);
+  _mm256_storeu_ps(acc + 16, c2);
+  _mm256_storeu_ps(acc + 24, c3);
+}
+
+// AVX-512 4x16 tile, same mul+add discipline — still memcmp-identical: the
+// wider tile only changes which elements share a register, not any
+// per-element rounding sequence.
+__attribute__((target("avx512f"))) void micro_avx512(std::int64_t kc,
+                                                     const float* ap,
+                                                     const float* bp,
+                                                     float* acc) {
+  __m512 c0 = _mm512_loadu_ps(acc);
+  __m512 c1 = _mm512_loadu_ps(acc + 16);
+  __m512 c2 = _mm512_loadu_ps(acc + 32);
+  __m512 c3 = _mm512_loadu_ps(acc + 48);
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const __m512 b = _mm512_loadu_ps(bp + kk * 16);
+    const float* arow = ap + kk * 4;
+    c0 = _mm512_add_ps(c0, _mm512_mul_ps(_mm512_set1_ps(arow[0]), b));
+    c1 = _mm512_add_ps(c1, _mm512_mul_ps(_mm512_set1_ps(arow[1]), b));
+    c2 = _mm512_add_ps(c2, _mm512_mul_ps(_mm512_set1_ps(arow[2]), b));
+    c3 = _mm512_add_ps(c3, _mm512_mul_ps(_mm512_set1_ps(arow[3]), b));
+  }
+  _mm512_storeu_ps(acc, c0);
+  _mm512_storeu_ps(acc + 16, c1);
+  _mm512_storeu_ps(acc + 32, c2);
+  _mm512_storeu_ps(acc + 48, c3);
+}
+
+// Fused multiply-add: one rounding per term instead of two. More accurate
+// per element but a *different* result, hence tolerance-gated and excluded
+// from auto dispatch.
+__attribute__((target("avx2,fma"))) void micro_avx2fma(std::int64_t kc,
+                                                       const float* ap,
+                                                       const float* bp,
+                                                       float* acc) {
+  __m256 c0 = _mm256_loadu_ps(acc);
+  __m256 c1 = _mm256_loadu_ps(acc + 8);
+  __m256 c2 = _mm256_loadu_ps(acc + 16);
+  __m256 c3 = _mm256_loadu_ps(acc + 24);
+  for (std::int64_t kk = 0; kk < kc; ++kk) {
+    const __m256 b = _mm256_loadu_ps(bp + kk * 8);
+    const float* arow = ap + kk * 4;
+    c0 = _mm256_fmadd_ps(_mm256_broadcast_ss(arow + 0), b, c0);
+    c1 = _mm256_fmadd_ps(_mm256_broadcast_ss(arow + 1), b, c1);
+    c2 = _mm256_fmadd_ps(_mm256_broadcast_ss(arow + 2), b, c2);
+    c3 = _mm256_fmadd_ps(_mm256_broadcast_ss(arow + 3), b, c3);
+  }
+  _mm256_storeu_ps(acc, c0);
+  _mm256_storeu_ps(acc + 8, c1);
+  _mm256_storeu_ps(acc + 16, c2);
+  _mm256_storeu_ps(acc + 24, c3);
+}
+
+// Elementwise ops are per-element independent, so the vectorized mul+add
+// forms are bit-identical to scalar (remainder handled scalar).
+__attribute__((target("avx2"))) void axpy_avx2(float alpha, const float* x,
+                                               float* y, std::int64_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 vy = _mm256_loadu_ps(y + i);
+    _mm256_storeu_ps(
+        y + i, _mm256_add_ps(vy, _mm256_mul_ps(va, _mm256_loadu_ps(x + i))));
+  }
+  for (; i < n; ++i) y[i] += alpha * x[i];
+}
+
+__attribute__((target("avx2"))) void scale_avx2(float* x, float alpha,
+                                                std::int64_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  std::int64_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(x + i, _mm256_mul_ps(_mm256_loadu_ps(x + i), va));
+  }
+  for (; i < n; ++i) x[i] *= alpha;
+}
+
+#endif  // TSR_X86
+
+// ---------------------------------------------------------------------------
+// int8 inference path: per-tensor symmetric quantization (scale = amax/127,
+// round-to-nearest, clamp to ±127), int accumulate, one dequantized
+// `c += alpha * sa * sb * acc` per element. Serial and pure integer inside,
+// so it is deterministic across backends and worker counts by construction.
+// ---------------------------------------------------------------------------
+
+void gemm_full_int8(bool a_trans, bool b_trans, std::int64_t m, std::int64_t n,
+                    std::int64_t k, float alpha, const float* a,
+                    std::int64_t lda, const float* b, std::int64_t ldb,
+                    float* c, std::int64_t ldc) {
+  const auto a_at = [&](std::int64_t i, std::int64_t kk) {
+    return a_trans ? a[kk * lda + i] : a[i * lda + kk];
+  };
+  const auto b_at = [&](std::int64_t kk, std::int64_t j) {
+    return b_trans ? b[j * ldb + kk] : b[kk * ldb + j];
+  };
+  float amax = 0.0f, bmax = 0.0f;
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t kk = 0; kk < k; ++kk)
+      amax = std::max(amax, std::fabs(a_at(i, kk)));
+  for (std::int64_t kk = 0; kk < k; ++kk)
+    for (std::int64_t j = 0; j < n; ++j)
+      bmax = std::max(bmax, std::fabs(b_at(kk, j)));
+  const float sa = amax > 0.0f ? amax / 127.0f : 1.0f;
+  const float sb = bmax > 0.0f ? bmax / 127.0f : 1.0f;
+  const auto quant = [](float x, float s) {
+    const long q = std::lrintf(x / s);
+    return static_cast<std::int8_t>(std::clamp<long>(q, -127, 127));
+  };
+  thread_local std::vector<std::int8_t> qa, qb;
+  qa.resize(static_cast<std::size_t>(m * k));
+  qb.resize(static_cast<std::size_t>(k * n));
+  for (std::int64_t i = 0; i < m; ++i)
+    for (std::int64_t kk = 0; kk < k; ++kk)
+      qa[static_cast<std::size_t>(i * k + kk)] = quant(a_at(i, kk), sa);
+  for (std::int64_t kk = 0; kk < k; ++kk)
+    for (std::int64_t j = 0; j < n; ++j)
+      qb[static_cast<std::size_t>(kk * n + j)] = quant(b_at(kk, j), sb);
+  const float dequant = alpha * sa * sb;
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      std::int64_t acc = 0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<std::int64_t>(qa[static_cast<std::size_t>(i * k + kk)]) *
+               qb[static_cast<std::size_t>(kk * n + j)];
+      }
+      c[i * ldc + j] += dequant * static_cast<float>(acc);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The table
+// ---------------------------------------------------------------------------
+
+bool avail_always(const CpuFeatures&) { return true; }
+#ifdef TSR_X86
+bool avail_avx2(const CpuFeatures& f) { return f.avx2; }
+bool avail_avx512(const CpuFeatures& f) { return f.avx2 && f.avx512f; }
+#endif
+
+const KernelVariant kTable[] = {
+    // name, nr, micro, quantize, gemm_full, axpy, scale, available, gate,
+    // auto_dispatch. Auto-dispatch resolution picks the LAST available
+    // auto entry, so keep memcmp variants in ascending preference order.
+    {"scalar", 8, micro_scalar, nullptr, nullptr, axpy_scalar, scale_scalar,
+     avail_always, "memcmp", true},
+#ifdef TSR_X86
+    {"avx2", 8, micro_avx2, nullptr, nullptr, axpy_avx2, scale_avx2,
+     avail_avx2, "memcmp", true},
+    {"avx512", 16, micro_avx512, nullptr, nullptr, axpy_avx2, scale_avx2,
+     avail_avx512, "memcmp", true},
+    {"avx2fma", 8, micro_avx2fma, nullptr, nullptr, axpy_avx2, scale_avx2,
+     avail_avx2, "tolerance", false},
+#endif
+    {"bf16", 8, micro_scalar, bf16_round, nullptr, axpy_scalar, scale_scalar,
+     avail_always, "tolerance", false},
+    {"int8", 8, nullptr, nullptr, gemm_full_int8, axpy_scalar, scale_scalar,
+     avail_always, "tolerance", false},
+};
+
+std::atomic<const KernelVariant*> g_active{nullptr};
+
+}  // namespace
+
+std::span<const KernelVariant> kernel_variants() {
+  return {kTable, sizeof(kTable) / sizeof(kTable[0])};
+}
+
+const KernelVariant* find_kernel_variant(std::string_view name) {
+  for (const KernelVariant& v : kernel_variants()) {
+    if (name == v.name) return &v;
+  }
+  return nullptr;
+}
+
+const KernelVariant& resolve_kernel_variant(std::string_view forced,
+                                            const CpuFeatures& f) {
+  if (!forced.empty()) {
+    const KernelVariant* v = find_kernel_variant(forced);
+    if (v != nullptr && v->available(f)) return *v;
+    return kTable[0];  // graceful fallback: unknown or unavailable -> scalar
+  }
+  const KernelVariant* best = &kTable[0];
+  for (const KernelVariant& v : kernel_variants()) {
+    if (v.auto_dispatch && v.available(f)) best = &v;
+  }
+  return *best;
+}
+
+const KernelVariant& active_kernel_variant() {
+  const KernelVariant* v = g_active.load(std::memory_order_acquire);
+  if (v == nullptr) {
+    const char* env = std::getenv("TESSERACT_KERNEL");
+    v = &resolve_kernel_variant(env != nullptr ? env : "", cpu_features());
+    g_active.store(v, std::memory_order_release);
+  }
+  return *v;
+}
+
+const KernelVariant& force_kernel_variant(const char* name) {
+  const char* env = std::getenv("TESSERACT_KERNEL");
+  const char* pick = name != nullptr ? name : (env != nullptr ? env : "");
+  const KernelVariant& v = resolve_kernel_variant(pick, cpu_features());
+  g_active.store(&v, std::memory_order_release);
+  return v;
+}
+
+std::int64_t active_kernel_variant_index() {
+  return &active_kernel_variant() - kTable;
+}
+
+}  // namespace tsr

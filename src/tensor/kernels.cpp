@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "tensor/kernel_registry.hpp"
+
 namespace tsr {
 namespace {
 void check_same_numel(const Tensor& a, const Tensor& b, const char* op) {
@@ -41,14 +43,11 @@ Tensor mul(const Tensor& a, const Tensor& b) {
 
 void axpy(float alpha, const Tensor& x, Tensor& y) {
   check_same_numel(x, y, "axpy");
-  float* py = y.data();
-  const float* px = x.data();
-  for (std::int64_t i = 0; i < x.numel(); ++i) py[i] += alpha * px[i];
+  active_kernel_variant().axpy(alpha, x.data(), y.data(), x.numel());
 }
 
 void scale(Tensor& t, float alpha) {
-  float* p = t.data();
-  for (std::int64_t i = 0; i < t.numel(); ++i) p[i] *= alpha;
+  active_kernel_variant().scale(t.data(), alpha, t.numel());
 }
 
 Tensor scaled(const Tensor& t, float alpha) {

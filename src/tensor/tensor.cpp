@@ -1,11 +1,14 @@
 #include "tensor/tensor.hpp"
 
+#include <cassert>
 #include <cstring>
+#include <new>
 #include <numeric>
 #include <sstream>
 #include <stdexcept>
 
 #include "obs/memory.hpp"
+#include "tensor/aligned.hpp"
 
 namespace tsr {
 
@@ -40,11 +43,17 @@ Tensor::Tensor(Shape shape) : shape_(std::move(shape)) {
   if (numel_ > 0) {
     const std::int64_t bytes = numel_ * static_cast<std::int64_t>(sizeof(float));
     obs::track_tensor_alloc(bytes);
-    data_ = std::shared_ptr<float[]>(new float[static_cast<std::size_t>(numel_)],
-                                     [bytes](float* p) {
-                                       obs::track_tensor_free(bytes);
-                                       delete[] p;
-                                     });
+    // Cache-line-aligned storage so SIMD kernel variants can stream aligned
+    // rows (and no tensor ever shares a cache line with unrelated data).
+    float* raw = static_cast<float*>(
+        ::operator new(static_cast<std::size_t>(bytes),
+                       std::align_val_t{kTensorAlignment}));
+    data_ = std::shared_ptr<float[]>(raw, [bytes](float* p) {
+      obs::track_tensor_free(bytes);
+      ::operator delete(p, std::align_val_t{kTensorAlignment});
+    });
+    assert(is_tensor_aligned(data_.get()) &&
+           "Tensor storage must be kTensorAlignment-aligned");
   }
 }
 
@@ -63,10 +72,17 @@ Tensor Tensor::full(Shape shape, float value) {
 }
 
 Tensor Tensor::from(std::vector<float> values, Shape shape) {
+  return from(std::span<const float>(values.data(), values.size()),
+              std::move(shape));
+}
+
+Tensor Tensor::from(std::span<const float> values, Shape shape) {
   check(static_cast<std::int64_t>(values.size()) == shape_numel(shape),
         "Tensor::from: value count does not match shape " + shape_to_string(shape));
   Tensor t(std::move(shape));
-  std::memcpy(t.data(), values.data(), values.size() * sizeof(float));
+  if (!values.empty()) {
+    std::memcpy(t.data(), values.data(), values.size() * sizeof(float));
+  }
   return t;
 }
 

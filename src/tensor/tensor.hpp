@@ -43,6 +43,8 @@ class Tensor {
   static Tensor full(Shape shape, float value);
   /// Takes ownership of `values` (must match shape_numel(shape)).
   static Tensor from(std::vector<float> values, Shape shape);
+  /// Copies `values` into fresh aligned storage (must match shape_numel).
+  static Tensor from(std::span<const float> values, Shape shape);
   /// 1-D tensor from an initializer list, convenience for tests.
   static Tensor of(std::initializer_list<float> values);
 

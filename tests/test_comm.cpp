@@ -18,7 +18,7 @@ TEST(PointToPoint, SendRecvDeliversPayload) {
     if (c.rank() == 0) {
       c.send(1, /*tag=*/7, std::vector<float>{1, 2, 3});
     } else {
-      std::vector<float> got = c.recv(0, 7);
+      Payload got = c.recv(0, 7);
       ASSERT_EQ(got.size(), 3u);
       EXPECT_EQ(got[2], 3.0f);
     }

@@ -1,0 +1,335 @@
+// Kernel variant registry: table shape, the pure resolution rule (including
+// graceful fallback when AVX is absent), the forced-variant dispatch matrix
+// with each variant checked against its declared gate (memcmp or documented
+// tolerance), bf16 round-trip bounds, elementwise dispatch, and the aligned
+// allocation contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "comm/buffer_pool.hpp"
+#include "tensor/aligned.hpp"
+#include "tensor/bf16.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/kernel_registry.hpp"
+#include "tensor/kernels.hpp"
+
+namespace tsr {
+namespace {
+
+// Restores default (env-driven) dispatch when a test that forced a variant
+// ends, so test order never matters.
+struct VariantGuard {
+  ~VariantGuard() { force_kernel_variant(nullptr); }
+};
+
+// Scoped environment override (same idiom as test_fault.cpp).
+class EnvGuard {
+ public:
+  explicit EnvGuard(const char* name) : name_(name) {
+    if (const char* v = std::getenv(name)) {
+      had_ = true;
+      old_ = v;
+    }
+  }
+  ~EnvGuard() {
+    if (had_) {
+      setenv(name_, old_.c_str(), 1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+  void set(const std::string& value) { setenv(name_, value.c_str(), 1); }
+  void clear() { unsetenv(name_); }
+
+ private:
+  const char* name_;
+  bool had_ = false;
+  std::string old_;
+};
+
+// Deterministic positive test data (no RNG dependency): values in [0.5, 1.5)
+// so sums never cancel and relative tolerances stay meaningful.
+Tensor filled(Shape shape, std::uint32_t salt) {
+  Tensor t(std::move(shape));
+  float* p = t.data();
+  for (std::int64_t i = 0; i < t.numel(); ++i) {
+    const std::uint32_t h =
+        (static_cast<std::uint32_t>(i) + salt) * 2654435761u;
+    p[i] = 0.5f + static_cast<float>(h % 4096u) / 4096.0f;
+  }
+  return t;
+}
+
+bool bit_identical(const Tensor& a, const Tensor& b) {
+  return a.numel() == b.numel() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+float max_rel_diff(const Tensor& a, const Tensor& b) {
+  float m = 0.0f;
+  for (std::int64_t i = 0; i < a.numel(); ++i) {
+    const float ref = std::fabs(b.data()[i]);
+    m = std::max(m, std::fabs(a.data()[i] - b.data()[i]) / std::max(ref, 1e-6f));
+  }
+  return m;
+}
+
+// ---- table shape ------------------------------------------------------------
+
+TEST(KernelRegistry, TableShapeAndInvariants) {
+  const auto table = kernel_variants();
+  ASSERT_GE(table.size(), 4u);  // scalar, bf16, int8 + at least one SIMD
+  EXPECT_STREQ(table[0].name, "scalar");
+  EXPECT_STREQ(table[0].gate, "memcmp");
+  EXPECT_TRUE(table[0].auto_dispatch);
+  for (const KernelVariant& v : table) {
+    // Signature compatibility: every variant is fully populated for the
+    // paths it serves.
+    EXPECT_NE(v.axpy, nullptr) << v.name;
+    EXPECT_NE(v.scale, nullptr) << v.name;
+    EXPECT_TRUE(v.micro != nullptr || v.gemm_full != nullptr) << v.name;
+    EXPECT_NE(v.available, nullptr) << v.name;
+    const std::string gate = v.gate;
+    EXPECT_TRUE(gate == "memcmp" || gate == "tolerance") << v.name;
+    // Only bit-identical variants may be picked without an explicit opt-in.
+    if (v.auto_dispatch) {
+      EXPECT_EQ(gate, "memcmp") << v.name;
+    }
+  }
+  EXPECT_NE(find_kernel_variant("scalar"), nullptr);
+  EXPECT_NE(find_kernel_variant("bf16"), nullptr);
+  EXPECT_NE(find_kernel_variant("int8"), nullptr);
+  EXPECT_EQ(find_kernel_variant("no_such_kernel"), nullptr);
+}
+
+// ---- pure resolution rule (synthetic feature sets, no host cpuid) ----------
+
+TEST(KernelRegistry, ResolveFallsBackToScalarWhenAvxAbsent) {
+  const CpuFeatures none{};  // a host with no AVX at all
+  // Forcing a SIMD variant on a baseline host degrades gracefully to scalar.
+  EXPECT_STREQ(resolve_kernel_variant("avx2", none).name, "scalar");
+  EXPECT_STREQ(resolve_kernel_variant("avx512", none).name, "scalar");
+  EXPECT_STREQ(resolve_kernel_variant("avx2fma", none).name, "scalar");
+  // Unknown names too.
+  EXPECT_STREQ(resolve_kernel_variant("no_such_kernel", none).name, "scalar");
+  // Auto dispatch on a baseline host is scalar.
+  EXPECT_STREQ(resolve_kernel_variant("", none).name, "scalar");
+  // Feature-independent variants resolve regardless of the host.
+  EXPECT_STREQ(resolve_kernel_variant("bf16", none).name, "bf16");
+  EXPECT_STREQ(resolve_kernel_variant("int8", none).name, "int8");
+}
+
+TEST(KernelRegistry, ResolvePrefersWidestAvailableAutoVariant) {
+  if (find_kernel_variant("avx2") == nullptr) {
+    GTEST_SKIP() << "non-x86 build: registry has no SIMD variants";
+  }
+  CpuFeatures avx2_only{};
+  avx2_only.avx2 = true;
+  EXPECT_STREQ(resolve_kernel_variant("", avx2_only).name, "avx2");
+  EXPECT_STREQ(resolve_kernel_variant("avx2", avx2_only).name, "avx2");
+  // avx512 requires avx512f; with only AVX2 it falls back to scalar.
+  EXPECT_STREQ(resolve_kernel_variant("avx512", avx2_only).name, "scalar");
+
+  CpuFeatures full{};
+  full.avx2 = true;
+  full.avx512f = true;
+  EXPECT_STREQ(resolve_kernel_variant("", full).name, "avx512");
+  EXPECT_STREQ(resolve_kernel_variant("avx2fma", full).name, "avx2fma");
+  // Tolerance-gated variants are never chosen automatically.
+  const KernelVariant& auto_pick = resolve_kernel_variant("", full);
+  EXPECT_STREQ(auto_pick.gate, "memcmp");
+}
+
+TEST(KernelRegistry, EnvOverrideDrivesActiveVariant) {
+  EnvGuard env("TESSERACT_KERNEL");
+  VariantGuard restore;
+  env.set("scalar");
+  EXPECT_STREQ(force_kernel_variant(nullptr).name, "scalar");
+  env.set("bf16");
+  EXPECT_STREQ(force_kernel_variant(nullptr).name, "bf16");
+  env.set("no_such_kernel");
+  EXPECT_STREQ(force_kernel_variant(nullptr).name, "scalar");
+  env.clear();
+  // Default dispatch: whatever the host supports, but always a memcmp gate.
+  EXPECT_STREQ(force_kernel_variant(nullptr).gate, "memcmp");
+}
+
+TEST(KernelRegistry, ActiveIndexMatchesTablePosition) {
+  VariantGuard restore;
+  const auto table = kernel_variants();
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (!table[i].available(cpu_features())) continue;
+    force_kernel_variant(table[i].name);
+    EXPECT_EQ(active_kernel_variant_index(), static_cast<std::int64_t>(i));
+  }
+}
+
+// ---- forced-variant dispatch matrix ----------------------------------------
+
+// Shapes exercise both rounding disciplines (update and dot forms), ragged
+// register tiles for 8- and 16-wide variants, and the serial small-GEMM path.
+struct GemmCase {
+  Trans ta, tb;
+  std::int64_t m, n, k;
+};
+
+const GemmCase kGemmCases[] = {
+    {Trans::N, Trans::N, 37, 53, 41},  // update form, ragged everything
+    {Trans::T, Trans::N, 24, 64, 32},  // update form, transposed A
+    {Trans::N, Trans::T, 37, 53, 41},  // dot form
+    {Trans::T, Trans::T, 16, 96, 80},  // dot form, transposed A
+    {Trans::N, Trans::N, 3, 5, 300},   // deep k, sub-tile m and n
+};
+
+Tensor run_case(const GemmCase& gc, const Tensor& a, const Tensor& b) {
+  return matmul(a, b, gc.ta, gc.tb);
+}
+
+Tensor case_a(const GemmCase& gc) {
+  return gc.ta == Trans::N ? filled({gc.m, gc.k}, 1) : filled({gc.k, gc.m}, 1);
+}
+Tensor case_b(const GemmCase& gc) {
+  return gc.tb == Trans::N ? filled({gc.k, gc.n}, 2) : filled({gc.n, gc.k}, 2);
+}
+
+TEST(KernelDispatch, EveryAvailableVariantMeetsItsGate) {
+  VariantGuard restore;
+  for (const GemmCase& gc : kGemmCases) {
+    const Tensor a = case_a(gc);
+    const Tensor b = case_b(gc);
+    force_kernel_variant("scalar");
+    const Tensor ref = run_case(gc, a, b);
+    for (const KernelVariant& v : kernel_variants()) {
+      if (!v.available(cpu_features())) continue;
+      ASSERT_STREQ(force_kernel_variant(v.name).name, v.name);
+      const Tensor got = run_case(gc, a, b);
+      const std::string name = v.name;
+      if (std::string(v.gate) == "memcmp") {
+        EXPECT_TRUE(bit_identical(got, ref))
+            << name << " must be bit-identical to scalar (case " << gc.m << "x"
+            << gc.n << "x" << gc.k << ")";
+      } else if (name == "avx2fma") {
+        // Different rounding sequence only; error ~ a few ulps per element.
+        EXPECT_LT(max_rel_diff(got, ref), 1e-5f) << name;
+      } else if (name == "bf16") {
+        // Operands rounded to bf16 (rel ~2^-8 each) before fp32 accumulate.
+        EXPECT_LT(max_rel_diff(got, ref), 0.02f) << name;
+      } else if (name == "int8") {
+        // Coarse fp32 closeness; the exact gate is QuantizedReferenceExact.
+        EXPECT_LT(max_rel_diff(got, ref), 0.05f) << name;
+      } else {
+        FAIL() << "variant " << name << " has no gate check in this test";
+      }
+    }
+  }
+}
+
+TEST(KernelDispatch, Int8MatchesQuantizedReferenceExactly) {
+  VariantGuard restore;
+  const std::int64_t m = 19, n = 23, k = 31;
+  const Tensor a = filled({m, k}, 7);
+  const Tensor b = filled({k, n}, 9);
+  force_kernel_variant("int8");
+  const Tensor got = matmul(a, b);
+
+  // Independent reimplementation of the documented quantization scheme:
+  // per-tensor symmetric, scale = amax/127, round-to-nearest, int accumulate.
+  float amax = 0.0f, bmax = 0.0f;
+  for (std::int64_t i = 0; i < a.numel(); ++i)
+    amax = std::max(amax, std::fabs(a.data()[i]));
+  for (std::int64_t i = 0; i < b.numel(); ++i)
+    bmax = std::max(bmax, std::fabs(b.data()[i]));
+  const float sa = amax / 127.0f;
+  const float sb = bmax / 127.0f;
+  auto q = [](float x, float s) {
+    return static_cast<int>(std::lrintf(x / s));
+  };
+  for (std::int64_t i = 0; i < m; ++i) {
+    for (std::int64_t j = 0; j < n; ++j) {
+      std::int64_t acc = 0;
+      for (std::int64_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<std::int64_t>(q(a.data()[i * k + kk], sa)) *
+               q(b.data()[kk * n + j], sb);
+      }
+      const float expect = sa * sb * static_cast<float>(acc);
+      EXPECT_EQ(got.data()[i * n + j], expect) << "at (" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST(KernelDispatch, ElementwiseOpsBitIdenticalAcrossVariants) {
+  VariantGuard restore;
+  const std::int64_t n = 103;  // forces the SIMD remainder path
+  const Tensor x = filled({n}, 3);
+  force_kernel_variant("scalar");
+  Tensor y_ref = filled({n}, 4);
+  axpy(0.37f, x, y_ref);
+  Tensor s_ref = filled({n}, 5);
+  scale(s_ref, -1.25f);
+  for (const KernelVariant& v : kernel_variants()) {
+    if (!v.available(cpu_features())) continue;
+    force_kernel_variant(v.name);
+    Tensor y = filled({n}, 4);
+    axpy(0.37f, x, y);
+    EXPECT_TRUE(bit_identical(y, y_ref)) << v.name;
+    Tensor s = filled({n}, 5);
+    scale(s, -1.25f);
+    EXPECT_TRUE(bit_identical(s, s_ref)) << v.name;
+  }
+}
+
+// ---- bf16 primitives --------------------------------------------------------
+
+TEST(Bf16, RoundTripWithinRelativeBound) {
+  // bf16 keeps 8 mantissa bits: round-to-nearest error <= 2^-9 relative,
+  // bounded here by the documented 2^-8.
+  const float kBound = 1.0f / 256.0f;
+  const float cases[] = {1.0f,      -1.0f,     0.3333333f, 3.1415926f,
+                         1e-8f,     -2.5e6f,   65504.0f,   1.0000001f,
+                         0.0078125f, -0.1f,    123456.78f};
+  for (float x : cases) {
+    const float rt = bf16_round(x);
+    EXPECT_LE(std::fabs(rt - x), std::fabs(x) * kBound) << x;
+    // Idempotent: a bf16-representable value encodes to itself.
+    EXPECT_EQ(bf16_round(rt), rt) << x;
+  }
+  // Exactly representable values survive unchanged (sign, zero, powers of 2).
+  EXPECT_EQ(bf16_round(0.0f), 0.0f);
+  EXPECT_EQ(bf16_round(1.0f), 1.0f);
+  EXPECT_EQ(bf16_round(-0.5f), -0.5f);
+  EXPECT_EQ(bf16_round(256.0f), 256.0f);
+}
+
+TEST(Bf16, RoundsToNearestEven) {
+  // 1 + 2^-9 sits exactly between bf16 neighbors 1.0 and 1 + 2^-8; RNE picks
+  // the even mantissa (1.0). The next representable step up rounds away.
+  EXPECT_EQ(bf16_round(1.0f + 1.0f / 512.0f), 1.0f);
+  EXPECT_EQ(bf16_round(1.0f + 3.0f / 512.0f), 1.0f + 1.0f / 128.0f);
+}
+
+// ---- alignment contract -----------------------------------------------------
+
+TEST(Alignment, TensorAndPayloadStorageIs64ByteAligned) {
+  for (std::int64_t n : {1, 7, 31, 100, 4096}) {
+    Tensor t({n});
+    EXPECT_TRUE(is_tensor_aligned(t.data())) << n;
+  }
+  comm::BufferPool pool;
+  auto buf = pool.acquire();
+  buf->resize(129);
+  EXPECT_TRUE(is_tensor_aligned(buf->data()));
+  // Recycled buffers keep their aligned storage.
+  pool.recycle(std::move(buf));
+  auto again = pool.acquire();
+  again->resize(7);
+  EXPECT_TRUE(is_tensor_aligned(again->data()));
+}
+
+}  // namespace
+}  // namespace tsr
