@@ -37,34 +37,38 @@ std::string EvalConfig::shape_string() const {
   return os.str();
 }
 
+void replay_schedule(const EvalConfig& cfg, comm::Communicator& c,
+                     bool backward) {
+  if (cfg.scheme == Scheme::Megatron1D) {
+    for (int l = 0; l < cfg.layers; ++l) {
+      if (backward) {
+        phantom_megatron_backward(c, cfg.dims);
+      } else {
+        phantom_megatron_forward(c, cfg.dims);
+      }
+    }
+    return;
+  }
+  const int grid_d = cfg.scheme == Scheme::Optimus2D ? 1 : cfg.d;
+  pdg::TesseractComms tc = pdg::TesseractComms::create(c, cfg.q, grid_d);
+  for (int l = 0; l < cfg.layers; ++l) {
+    if (backward) {
+      phantom_tesseract_backward(tc, cfg.dims);
+    } else {
+      phantom_tesseract_forward(tc, cfg.dims);
+    }
+  }
+}
+
 EvalResult evaluate(const EvalConfig& cfg) {
   const int ranks = cfg.total_ranks();
   check(ranks >= 1, "evaluate: configuration has no ranks");
   comm::World world(ranks, cfg.spec);
   world.install_fault_plan(cfg.fault);  // no-op for the default empty plan
 
-  const int grid_d = cfg.scheme == Scheme::Optimus2D ? 1 : cfg.d;
-
   auto replay = [&](bool backward) {
     return [&, backward](comm::Communicator& c) {
-      if (cfg.scheme == Scheme::Megatron1D) {
-        for (int l = 0; l < cfg.layers; ++l) {
-          if (backward) {
-            phantom_megatron_backward(c, cfg.dims);
-          } else {
-            phantom_megatron_forward(c, cfg.dims);
-          }
-        }
-        return;
-      }
-      pdg::TesseractComms tc = pdg::TesseractComms::create(c, cfg.q, grid_d);
-      for (int l = 0; l < cfg.layers; ++l) {
-        if (backward) {
-          phantom_tesseract_backward(tc, cfg.dims);
-        } else {
-          phantom_tesseract_forward(tc, cfg.dims);
-        }
-      }
+      replay_schedule(cfg, c, backward);
     };
   };
 
@@ -90,19 +94,12 @@ obs::ExpectationProfile expectation_from_cost_model(const EvalConfig& cfg) {
   check(ranks >= 1, "expectation_from_cost_model: configuration has no ranks");
   comm::World world(ranks, cfg.spec);
   world.enable_metrics();
-  const int grid_d = cfg.scheme == Scheme::Optimus2D ? 1 : cfg.d;
+  EvalConfig one_layer = cfg;
+  one_layer.layers = 1;
   world.run([&](comm::Communicator& c) {
-    if (cfg.scheme == Scheme::Megatron1D) {
-      for (int l = 0; l < cfg.layers; ++l) {
-        phantom_megatron_forward(c, cfg.dims);
-        phantom_megatron_backward(c, cfg.dims);
-      }
-      return;
-    }
-    pdg::TesseractComms tc = pdg::TesseractComms::create(c, cfg.q, grid_d);
     for (int l = 0; l < cfg.layers; ++l) {
-      phantom_tesseract_forward(tc, cfg.dims);
-      phantom_tesseract_backward(tc, cfg.dims);
+      replay_schedule(one_layer, c, /*backward=*/false);
+      replay_schedule(one_layer, c, /*backward=*/true);
     }
   });
   return obs::ExpectationProfile::from_snapshot(world.metrics().snapshot(),

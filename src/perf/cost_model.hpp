@@ -52,6 +52,14 @@ struct EvalResult {
 /// cost_model.cpp on the text-vs-numbers discrepancy).
 EvalResult evaluate(const EvalConfig& cfg);
 
+/// Replays cfg's full layer schedule (cfg.layers layers, forward or
+/// backward) on `c` — the shared body of evaluate() and the autotune search
+/// (perf/autotune.hpp), which replays per-stage slices of a candidate and
+/// appends its own optimizer phase. `c` must have exactly cfg.total_ranks()
+/// ranks.
+void replay_schedule(const EvalConfig& cfg, comm::Communicator& c,
+                     bool backward);
+
 /// Derives a live-telemetry expectation profile (obs/expect.hpp) from the
 /// cost model: phantom-replays cfg's schedule (forward + backward per layer)
 /// on a fresh metered World and condenses the result into predicted op rate

@@ -50,6 +50,9 @@ class BenchReport {
   obs::JsonValue& add_case(const std::string& name, const Measurement& m);
 
   const obs::JsonValue& root() const { return root_; }
+  /// Mutable document root, for top-level fields beyond the envelope and
+  /// the case list (e.g. the autotune search configuration and Pareto set).
+  obs::JsonValue& root() { return root_; }
   /// Writes the report to `path` (pretty-printed); false on I/O failure.
   bool write(const std::string& path) const;
 

@@ -19,6 +19,13 @@ Three checks, run over README.md and docs/*.md:
    family in one row. Every source metric must match a documented token, and
    every documented token must correspond to a real source metric.
 
+4. CLI subcommands must be documented and real, both directions. Source
+   ground truth is the dispatch comparison `cmd == "<sub>"` in each
+   tools/tsr_*.cpp; doc ground truth is `tsr_<tool> <word>` occurrences
+   inside backtick code spans and fenced code blocks (prose mentions do not
+   count). A subcommand shipped but never shown in a doc, or shown in a doc
+   but not dispatched by the tool, fails the build.
+
 Exit status 0 = clean, 1 = findings (each printed as file:line: message).
 """
 
@@ -143,6 +150,69 @@ def check_metrics(errors: list):
         )
 
 
+# ---- CLI subcommand cross-check ---------------------------------------------
+# Every tool dispatches with the same idiom: `if (cmd == "plan") ...`. That
+# literal comparison is the source ground truth for its subcommand set.
+SRC_SUBCMD_RE = re.compile(r'cmd\s*==\s*"([a-z][a-z_-]*)"')
+# A usage is the tool name followed by one lowercase word (the subcommand);
+# flags (leading '-') and file operands (containing '.') never match.
+DOC_TOOL_USE_RE = re.compile(r"\b(tsr_[a-z_]+)\s+([a-z][a-z_-]*)\b")
+
+
+def cli_subcommands_in_src():
+    """tool name -> {subcommand: (file, line)} from tools/tsr_*.cpp."""
+    tools = {}
+    for src in sorted((REPO / "tools").glob("tsr_*.cpp")):
+        subs = {}
+        for lineno, line in enumerate(src.read_text().splitlines(), start=1):
+            for sub in SRC_SUBCMD_RE.findall(line):
+                subs.setdefault(sub, (src, lineno))
+        tools[src.stem] = subs
+    return tools
+
+
+def cli_uses_in_docs():
+    """(tool, subcommand) -> first (file, line): spans + fenced blocks."""
+    found = {}
+    for md in markdown_files():
+        in_fence = False
+        for lineno, line in enumerate(md.read_text().splitlines(), start=1):
+            if line.lstrip().startswith("```"):
+                in_fence = not in_fence
+                continue
+            regions = [line] if in_fence else CODE_SPAN_RE.findall(line)
+            for region in regions:
+                for tool, sub in DOC_TOOL_USE_RE.findall(region):
+                    found.setdefault((tool, sub), (md, lineno))
+    return found
+
+
+def check_cli(errors: list):
+    tools = cli_subcommands_in_src()
+    doc_uses = cli_uses_in_docs()
+    # Source -> docs: every shipped subcommand must be shown at least once.
+    for tool, subs in sorted(tools.items()):
+        for sub, (src, lineno) in sorted(subs.items()):
+            if (tool, sub) not in doc_uses:
+                errors.append(
+                    f"{src.relative_to(REPO)}:{lineno}: subcommand "
+                    f"`{tool} {sub}` exists but no doc code span or fenced "
+                    f"block shows it"
+                )
+    # Docs -> source: every shown usage must be a real tool + subcommand.
+    for (tool, sub), (md, lineno) in sorted(doc_uses.items()):
+        if tool not in tools:
+            errors.append(
+                f"{md.relative_to(REPO)}:{lineno}: `{tool}` is shown as a "
+                f"command but tools/{tool}.cpp does not exist"
+            )
+        elif sub not in tools[tool]:
+            errors.append(
+                f"{md.relative_to(REPO)}:{lineno}: `{tool} {sub}` is shown "
+                f"but {tool} dispatches no such subcommand"
+            )
+
+
 def markdown_files():
     files = [REPO / "README.md"]
     files += sorted((REPO / "docs").glob("*.md"))
@@ -198,6 +268,7 @@ def main() -> int:
         check_links(md, errors)
 
     check_metrics(errors)
+    check_cli(errors)
 
     docs_env = env_vars_in_docs()
     src_env = env_vars_in_src()
@@ -218,10 +289,12 @@ def main() -> int:
         print(e)
     if not errors:
         literals, annotations = metrics_in_src()
+        n_subs = sum(len(s) for s in cli_subcommands_in_src().values())
         print(
             f"docs check clean: {len(mds)} markdown files, "
-            f"{len(src_env)} environment variables and "
-            f"{len(literals) + len(annotations)} metric names cross-checked"
+            f"{len(src_env)} environment variables, "
+            f"{len(literals) + len(annotations)} metric names and "
+            f"{n_subs} CLI subcommands cross-checked"
         )
     return 1 if errors else 0
 
