@@ -275,7 +275,7 @@ int main() {
   obs::JsonValue kv_doc;
   bool have_doc = false;
   {
-    std::ifstream in(kv_path);
+    std::ifstream in(obs::artifact_path(kv_path));
     if (in) {
       std::stringstream ss;
       ss << in.rdbuf();
@@ -303,7 +303,7 @@ int main() {
     c["sim_us"] = r.m.sim_us;
     kv_doc["cases"].push_back(std::move(c));
   }
-  if (obs::write_json_file(kv_path, kv_doc)) {
+  if (obs::write_json_file(obs::artifact_path(kv_path), kv_doc)) {
     std::printf("appended depth-compression rows to %s\n", kv_path);
   } else {
     std::fprintf(stderr, "failed to write %s\n", kv_path);

@@ -282,9 +282,10 @@ void run_variant_sweep() {
   const char* out = "BENCH_kernel_variants.json";
   // bench_comm_volume appends its depth-compression rows to this file; when
   // it ran first, carry its rows over instead of clobbering them, so the two
-  // benches can run in either order.
+  // benches can run in either order. Read through the same artifact-dir
+  // redirection the writer applies.
   {
-    std::ifstream in(out);
+    std::ifstream in(obs::artifact_path(out));
     if (in) {
       std::stringstream ss;
       ss << in.rdbuf();

@@ -16,6 +16,7 @@
 #include "pdgemm/block.hpp"
 #include "perf/cost_model.hpp"
 #include "perf/export.hpp"
+#include "perf/flame.hpp"
 #include "perf/report.hpp"
 #include "perf/run_report.hpp"
 #include "perf/trace.hpp"
@@ -150,6 +151,13 @@ int main() {
                   static_cast<long long>(world.live()->drift_events().size()));
     } else {
       std::fprintf(stderr, "failed to write REPORT_table1.{json,html}\n");
+    }
+    // Folded flamegraph of the same instrumented replay, so a tsr_gate
+    // regression on this row can be drilled into without rerunning.
+    if (perf::write_flamegraph(world, "FLAME_table1.folded")) {
+      std::printf("wrote FLAME_table1.folded\n");
+    } else {
+      std::fprintf(stderr, "failed to write FLAME_table1.folded\n");
     }
   }
   return 0;

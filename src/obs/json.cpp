@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 
 namespace tsr::obs {
@@ -367,6 +368,45 @@ bool write_json_file(const std::string& path, const JsonValue& value,
   if (!out) return false;
   out << value.dump(indent) << '\n';
   return static_cast<bool>(out);
+}
+
+JsonlScan scan_jsonl(std::string_view data,
+                     const std::function<void(JsonValue)>& on_line) {
+  JsonlScan res;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t nl = data.find('\n', start);
+    if (nl == std::string_view::npos) break;  // incomplete trailing line
+    const std::string line(data.substr(start, nl - start));
+    if (!line.empty()) {
+      std::string err;
+      JsonValue v = json_parse(line, &err);
+      if (!err.empty()) {
+        if (nl + 1 == data.size()) {
+          res.status = JsonlScan::Status::TornTail;
+        } else {
+          res.status = JsonlScan::Status::Corrupt;
+          res.error = err;
+        }
+        return res;
+      }
+      on_line(std::move(v));
+    }
+    start = nl + 1;
+    res.consumed = start;
+  }
+  return res;
+}
+
+std::string artifact_path(const std::string& filename) {
+  const char* dir = std::getenv("TESSERACT_ARTIFACT_DIR");
+  if (dir == nullptr || *dir == '\0') return filename;
+  if (!filename.empty() && filename.front() == '/') return filename;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // best-effort; open() reports
+  std::string p(dir);
+  if (p.back() != '/') p += '/';
+  return p + filename;
 }
 
 }  // namespace tsr::obs

@@ -9,8 +9,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
@@ -92,5 +94,36 @@ JsonValue json_parse(const std::string& text, std::string* error = nullptr);
 /// Writes `dump(indent)` plus a trailing newline; false on I/O failure.
 bool write_json_file(const std::string& path, const JsonValue& value,
                      int indent = 2);
+
+/// Outcome of one scan_jsonl() pass over a (possibly still growing) JSONL
+/// buffer. `consumed` is the byte offset just past the last successfully
+/// parsed line: a caller tailing a file re-reads from there next poll, and
+/// the ledger truncates a damaged file back to it before appending.
+struct JsonlScan {
+  enum class Status {
+    Ok,        // every newline-terminated line parsed
+    TornTail,  // the FINAL newline-terminated line failed to parse — a
+               // concurrent writer was mid-append; re-read it later
+    Corrupt,   // a line with data after it failed to parse: real corruption
+  };
+  Status status = Status::Ok;
+  std::size_t consumed = 0;  // bytes of `data` fully consumed
+  std::string error;         // parse error (Corrupt only)
+};
+
+/// Walks newline-terminated JSONL lines in `data`, invoking `on_line` for
+/// each parsed document (empty lines are skipped). Trailing bytes without a
+/// newline are never consumed — they are an incomplete line by definition.
+/// The torn-tail rule matches what a concurrent writer can produce: only the
+/// LAST newline-terminated line may legitimately fail to parse (the newline
+/// landed before the rest of the line did); any earlier failure is Corrupt.
+JsonlScan scan_jsonl(std::string_view data,
+                     const std::function<void(JsonValue)>& on_line);
+
+/// Resolves a relative artifact filename against TESSERACT_ARTIFACT_DIR when
+/// that variable is set (creating the directory best-effort), so every
+/// BENCH_*/REPORT_*/TIMELINE_*/FLAME_* writer lands in one collectable
+/// directory. Absolute paths and unset env pass through unchanged.
+std::string artifact_path(const std::string& filename);
 
 }  // namespace tsr::obs

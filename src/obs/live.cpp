@@ -37,6 +37,10 @@ LiveSampler::LiveSampler(LiveConfig cfg, int nranks)
   progress_.resize(static_cast<std::size_t>(nranks_));
   last_flushed_.resize(static_cast<std::size_t>(nranks_));
   if (!cfg_.path.empty()) {
+    // TESSERACT_ARTIFACT_DIR redirection happens here so every producer's
+    // TIMELINE lands next to its BENCH_*/REPORT_* documents. The header
+    // below never mentions the path, so the stream stays byte-identical.
+    cfg_.path = artifact_path(cfg_.path);
     out_ = std::make_unique<std::ofstream>(cfg_.path);
     if (!*out_) {
       out_.reset();  // sampling still works; only streaming is lost

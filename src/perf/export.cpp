@@ -9,6 +9,16 @@
 #include "tensor/cpu_features.hpp"
 #include "tensor/kernel_registry.hpp"
 
+// Build-time git provenance (cmake/git_stamp.cmake). The fallback keeps
+// non-CMake compiles (and tarball builds) working with the same "unknown"
+// stamp the script emits outside a checkout.
+#if __has_include("tsr_git_stamp.h")
+#include "tsr_git_stamp.h"
+#else
+#define TSR_GIT_SHA "unknown"
+#define TSR_GIT_DIRTY 0
+#endif
+
 namespace tsr::perf {
 
 void stamp_envelope(obs::JsonValue& root, const std::string& kind) {
@@ -31,6 +41,11 @@ void stamp_envelope(obs::JsonValue& root, const std::string& kind) {
   // *experiment*, so diffing does NOT skip it: comparing runs under
   // different plans fails loudly instead of reading as numeric drift.
   root["fault_plan"] = fault::active_plan_fingerprint();
+  // Which commit built the binary, and whether the tree had uncommitted
+  // changes. Provenance only — environment fields like the ones above, so
+  // diffing skips them; the ledger keys perf history to them.
+  root["git_sha"] = std::string(TSR_GIT_SHA);
+  root["git_dirty"] = static_cast<bool>(TSR_GIT_DIRTY);
   if (const char* label = std::getenv("TESSERACT_RUN_LABEL")) {
     root["run_label"] = label;
   }
@@ -115,7 +130,7 @@ obs::JsonValue& BenchReport::add_case(const std::string& name,
 }
 
 bool BenchReport::write(const std::string& path) const {
-  return obs::write_json_file(path, root_, 2);
+  return obs::write_json_file(obs::artifact_path(path), root_, 2);
 }
 
 }  // namespace tsr::perf

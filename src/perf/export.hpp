@@ -27,7 +27,9 @@ inline constexpr std::int64_t kReportSchemaVersion = 1;
 /// `host_cores`, the active `kernel_variant` and host `cpu_features`
 /// (tensor/kernel_registry.hpp), a `fault_plan` fingerprint
 /// (fault::active_plan_fingerprint, "none" when no plan was installed), and
-/// — when the TESSERACT_RUN_LABEL environment variable is set — a free-form
+/// the build's `git_sha`/`git_dirty` provenance (from the CMake-generated
+/// stamp header; "unknown" outside a checkout), and — when the
+/// TESSERACT_RUN_LABEL environment variable is set — a free-form
 /// `run_label` so CI can tag artifacts per configuration. The host fields describe the environment,
 /// never simulated results, and report diffing skips them; `fault_plan`
 /// identifies the experiment and is deliberately NOT skipped.
@@ -53,7 +55,8 @@ class BenchReport {
   /// Mutable document root, for top-level fields beyond the envelope and
   /// the case list (e.g. the autotune search configuration and Pareto set).
   obs::JsonValue& root() { return root_; }
-  /// Writes the report to `path` (pretty-printed); false on I/O failure.
+  /// Writes the report to `path` (pretty-printed, obs::artifact_path
+  /// applies); false on I/O failure.
   bool write(const std::string& path) const;
 
  private:

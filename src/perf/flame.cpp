@@ -1,0 +1,79 @@
+#include "perf/flame.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+
+#include "obs/json.hpp"
+
+namespace tsr::perf {
+
+std::vector<FoldedLine> fold_traces(const comm::World& world) {
+  std::vector<FoldedLine> out;
+  for (int r = 0; r < world.size(); ++r) {
+    const std::vector<comm::TraceEvent>& events = world.trace(r);
+    // Containment order: outer spans first. Ties on t0 put the longer span
+    // outside; fully identical intervals nest by emission order.
+    std::vector<const comm::TraceEvent*> order;
+    order.reserve(events.size());
+    for (const comm::TraceEvent& e : events) order.push_back(&e);
+    std::sort(order.begin(), order.end(),
+              [](const comm::TraceEvent* a, const comm::TraceEvent* b) {
+                if (a->t0 != b->t0) return a->t0 < b->t0;
+                if (a->t1 != b->t1) return a->t1 > b->t1;
+                return a->seq < b->seq;
+              });
+
+    struct Frame {
+      std::string stack;
+      double t1 = 0.0;
+      double dur = 0.0;
+      double child = 0.0;
+    };
+    std::vector<Frame> open;
+    std::map<std::string, double> self;  // stack -> aggregated self time
+    const std::string root = "rank" + std::to_string(r);
+    const auto pop = [&open, &self] {
+      const Frame f = std::move(open.back());
+      open.pop_back();
+      const double s = f.dur - f.child;
+      if (s > 0.0) self[f.stack] += s;
+      if (!open.empty()) open.back().child += f.dur;
+    };
+    for (const comm::TraceEvent* e : order) {
+      while (!open.empty() && e->t0 >= open.back().t1) pop();
+      Frame f;
+      f.stack = (open.empty() ? root : open.back().stack) + ";" + e->name;
+      // Clamp a span leaking past its parent: self time must tile exactly.
+      f.t1 = open.empty() ? e->t1 : std::min(e->t1, open.back().t1);
+      f.dur = f.t1 - e->t0;
+      open.push_back(std::move(f));
+    }
+    while (!open.empty()) pop();
+    for (const auto& [stack, seconds] : self) {
+      out.push_back({r, stack, seconds});
+    }
+  }
+  return out;
+}
+
+std::string folded_to_string(const std::vector<FoldedLine>& lines) {
+  std::string out;
+  char buf[64];
+  for (const FoldedLine& line : lines) {
+    std::snprintf(buf, sizeof buf, " %.17g\n", line.seconds);
+    out += line.stack;
+    out += buf;
+  }
+  return out;
+}
+
+bool write_flamegraph(const comm::World& world, const std::string& path) {
+  std::ofstream out(obs::artifact_path(path));
+  if (!out) return false;
+  out << folded_to_string(fold_traces(world));
+  return static_cast<bool>(out);
+}
+
+}  // namespace tsr::perf

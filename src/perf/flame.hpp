@@ -1,0 +1,38 @@
+// Collapsed-stack ("folded") flamegraph export of the trace plane.
+//
+// Folds each rank's recorded TraceEvent spans — which nest by simulated
+// time — into the classic FlameGraph/speedscope folded format: one line per
+// unique stack, `rank<r>;outer;inner <self-seconds>`. The counts are
+// simulated seconds (%.17g), so per-rank counts sum exactly to that rank's
+// busy time and the file is byte-identical across scheduler backends, like
+// every other simulated artifact. A gate regression flagged by tsr_gate can
+// then be drilled into offline with any flamegraph viewer, no rerun needed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hpp"
+
+namespace tsr::perf {
+
+/// One folded stack: `stack` is rank-rooted, ";"-separated, `seconds` is the
+/// stack's SELF time (span time not covered by child spans).
+struct FoldedLine {
+  int rank = 0;
+  std::string stack;
+  double seconds = 0.0;
+};
+
+/// Folds every rank's span tree. Lines come out in rendering order: by rank,
+/// then stack lexicographically. Requires tracing to have been enabled.
+std::vector<FoldedLine> fold_traces(const comm::World& world);
+
+/// Renders `<stack> <count>\n` per line, counts in %.17g simulated seconds.
+std::string folded_to_string(const std::vector<FoldedLine>& lines);
+
+/// Writes the folded stacks to `path` (obs::artifact_path applies); false on
+/// I/O failure.
+bool write_flamegraph(const comm::World& world, const std::string& path);
+
+}  // namespace tsr::perf

@@ -418,8 +418,11 @@ std::string RunReport::to_string() const {
 bool write_run_report(const comm::World& world, const std::string& name) {
   const RunReport rep = build_run_report(world, name);
   const obs::JsonValue doc = rep.to_json();
-  if (!obs::write_json_file("REPORT_" + name + ".json", doc, 2)) return false;
-  std::ofstream html("REPORT_" + name + ".html");
+  if (!obs::write_json_file(obs::artifact_path("REPORT_" + name + ".json"),
+                            doc, 2)) {
+    return false;
+  }
+  std::ofstream html(obs::artifact_path("REPORT_" + name + ".html"));
   if (!html) return false;
   html << RunReport::run_report_html(doc);
   return static_cast<bool>(html);
@@ -446,6 +449,16 @@ std::string RunReport::run_report_summary(const obs::JsonValue& doc) {
   }
   if (const obs::JsonValue* cf = doc.find("cpu_features")) {
     if (cf->is_string()) os << " (" << cf->as_string() << ")";
+  }
+  if (const obs::JsonValue* sha = doc.find("git_sha")) {
+    if (sha->is_string()) {
+      os << ", git " << sha->as_string();
+      const obs::JsonValue* dirty = doc.find("git_dirty");
+      if (dirty != nullptr && dirty->kind() == obs::JsonValue::Kind::Bool &&
+          dirty->as_bool()) {
+        os << "+dirty";
+      }
+    }
   }
   os << "\n";
 
@@ -750,7 +763,7 @@ namespace {
 bool skip_at_root(const std::string& key) {
   return key == "backend" || key == "workers" || key == "host_cores" ||
          key == "run_label" || key == "name" || key == "kernel_variant" ||
-         key == "cpu_features";
+         key == "cpu_features" || key == "git_sha" || key == "git_dirty";
 }
 
 // Exact comparison: the metrics registry shards recordings per rank and

@@ -1,0 +1,138 @@
+// Flamegraph folding (perf/flame.*): pinned folded output for a
+// hand-constructed two-rank trace, self-time nesting rules, and the
+// sums-to-busy-time contract on the real reference workload.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "comm/communicator.hpp"
+#include "parallel/dist.hpp"
+#include "parallel/tesseract_transformer.hpp"
+#include "perf/flame.hpp"
+#include "tensor/init.hpp"
+#include "topology/machine_spec.hpp"
+
+namespace {
+
+using tsr::comm::SpanKind;
+using tsr::comm::World;
+using tsr::perf::fold_traces;
+using tsr::perf::folded_to_string;
+using tsr::perf::FoldedLine;
+
+TEST(Flame, PinnedTwoRankFoldedOutput) {
+  // Power-of-two span times so every self-time is exact. Rank 0 nests gemm
+  // and all_reduce inside step; rank 1 has one flat span.
+  World world(2, tsr::topo::MachineSpec::zero_cost());
+  world.enable_tracing();
+  world.record_span(0, "step", 0.0, 1.0, SpanKind::Marker);
+  world.record_span(0, "gemm", 0.0, 0.25, SpanKind::Kernel);
+  world.record_span(0, "all_reduce", 0.25, 0.75, SpanKind::Collective);
+  world.record_span(1, "gemm", 0.0, 0.5, SpanKind::Kernel);
+
+  // step self = 1.0 - (0.25 + 0.5) = 0.25; children keep their full time.
+  // Lines are sorted by rank then stack, so the order below is pinned.
+  EXPECT_EQ(folded_to_string(fold_traces(world)),
+            "rank0;step 0.25\n"
+            "rank0;step;all_reduce 0.5\n"
+            "rank0;step;gemm 0.25\n"
+            "rank1;gemm 0.5\n");
+}
+
+TEST(Flame, SiblingSpansAggregateAndZeroSelfIsDropped) {
+  World world(1, tsr::topo::MachineSpec::zero_cost());
+  world.enable_tracing();
+  // Two steps, each fully covered by a gemm: the steps have zero self time
+  // so no "rank0;step" line appears, and the two gemm selves aggregate.
+  world.record_span(0, "step", 0.0, 1.0, SpanKind::Marker);
+  world.record_span(0, "gemm", 0.0, 1.0, SpanKind::Kernel);
+  world.record_span(0, "step", 1.0, 3.0, SpanKind::Marker);
+  world.record_span(0, "gemm", 1.0, 3.0, SpanKind::Kernel);
+
+  EXPECT_EQ(folded_to_string(fold_traces(world)), "rank0;step;gemm 3\n");
+}
+
+// Merged-interval busy time of one rank's spans: the folded self times must
+// sum to exactly this (top-level spans never overlap in a sane trace).
+double busy_time(const World& world, int rank) {
+  std::vector<std::pair<double, double>> iv;
+  for (const auto& e : world.trace(rank)) iv.emplace_back(e.t0, e.t1);
+  std::sort(iv.begin(), iv.end());
+  double busy = 0.0, start = 0.0, end = -1.0;
+  bool open = false;
+  for (const auto& [t0, t1] : iv) {
+    if (!open || t0 > end) {
+      if (open) busy += end - start;
+      start = t0;
+      end = t1;
+      open = true;
+    } else {
+      end = std::max(end, t1);
+    }
+  }
+  if (open) busy += end - start;
+  return busy;
+}
+
+TEST(Flame, ReferenceWorkloadCountsSumToPerRankBusyTime) {
+  // The same [2,2,2] Transformer-layer workload tsr_report gen runs: real
+  // collective/kernel/marker nesting on 8 ranks.
+  constexpr std::int64_t kBatch = 4, kSeq = 8, kHidden = 64, kHeads = 4;
+  tsr::Rng data_rng(7);
+  tsr::Tensor x = tsr::random_normal({kBatch, kSeq, kHidden}, data_rng);
+  tsr::Tensor dy = tsr::random_normal({kBatch, kSeq, kHidden}, data_rng);
+  World world(8, tsr::topo::MachineSpec::meluxina());
+  world.enable_tracing();
+  world.run([&](tsr::comm::Communicator& c) {
+    tsr::par::TesseractContext ctx(c, 2, 2);
+    tsr::Rng wrng(8);
+    tsr::par::TesseractTransformerLayer layer(ctx, kHidden, kHeads, wrng);
+    tsr::Tensor xl = tsr::par::distribute_activation(ctx.comms(), x);
+    tsr::Tensor dyl = tsr::par::distribute_activation(ctx.comms(), dy);
+    (void)layer.forward(xl);
+    (void)layer.backward(dyl);
+  });
+
+  const std::vector<FoldedLine> lines = fold_traces(world);
+  ASSERT_FALSE(lines.empty());
+  std::map<int, double> per_rank;
+  for (const FoldedLine& line : lines) {
+    EXPECT_GT(line.seconds, 0.0) << line.stack;
+    // Every stack is rooted at its rank frame.
+    EXPECT_EQ(line.stack.rfind("rank" + std::to_string(line.rank) + ";", 0),
+              0u)
+        << line.stack;
+    per_rank[line.rank] += line.seconds;
+  }
+  for (int r = 0; r < world.size(); ++r) {
+    ASSERT_TRUE(per_rank.count(r)) << "rank " << r << " folded no stacks";
+    EXPECT_NEAR(per_rank[r], busy_time(world, r), 1e-9) << "rank " << r;
+  }
+
+  // Rendered format: every line is `stack;frames count` with a parseable
+  // count and no stray whitespace.
+  const std::string rendered = folded_to_string(lines);
+  std::istringstream is(rendered);
+  std::string text_line;
+  std::size_t n = 0;
+  while (std::getline(is, text_line)) {
+    const std::size_t space = text_line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << text_line;
+    const std::string stack = text_line.substr(0, space);
+    EXPECT_NE(stack.find(';'), std::string::npos) << text_line;
+    char* end = nullptr;
+    const double count = std::strtod(text_line.c_str() + space + 1, &end);
+    EXPECT_GT(count, 0.0) << text_line;
+    EXPECT_EQ(*end, '\0') << text_line;
+    ++n;
+  }
+  EXPECT_EQ(n, lines.size());
+}
+
+}  // namespace

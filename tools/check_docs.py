@@ -249,7 +249,8 @@ def env_vars_in_docs():
 
 def env_vars_in_src():
     found = {}
-    for src in sorted((REPO / "src").rglob("*")):
+    roots = [REPO / "src", REPO / "tools", REPO / "bench"]
+    for src in sorted(p for root in roots for p in root.rglob("*")):
         if src.suffix not in (".cpp", ".hpp"):
             continue
         for lineno, line in enumerate(src.read_text().splitlines(), start=1):

@@ -17,12 +17,20 @@
 //       the relative threshold (default 0: equality up to float-accumulation
 //       noise) or the documents differ structurally. This is the CI
 //       determinism / regression gate.
+//   tsr_report flame <name> [--seed S] [--straggler R:SCALE]
+//       Re-runs the reference workload and writes FLAME_<name>.folded: the
+//       per-rank span tree collapsed into flamegraph folded stacks (counts
+//       in simulated seconds). `gen` writes the same file alongside its
+//       report, so `flame` exists for regenerating one without the
+//       report/timeline churn. Byte-identical across scheduler backends.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "comm/communicator.hpp"
 #include "fault/fault.hpp"
@@ -31,6 +39,7 @@
 #include "obs/live.hpp"
 #include "parallel/dist.hpp"
 #include "parallel/tesseract_transformer.hpp"
+#include "perf/flame.hpp"
 #include "perf/run_report.hpp"
 #include "tensor/init.hpp"
 
@@ -44,7 +53,8 @@ int usage() {
                "  gen <name> [--seed S] [--straggler R:SCALE]\n"
                "  summarize <report.json>\n"
                "  html <report.json> <out.html>\n"
-               "  diff <a.json> <b.json> [--threshold F]\n");
+               "  diff <a.json> <b.json> [--threshold F]\n"
+               "  flame <name> [--seed S] [--straggler R:SCALE]\n");
   return 2;
 }
 
@@ -65,73 +75,116 @@ bool load_json(const char* path, obs::JsonValue* out) {
   return true;
 }
 
-// The reference workload behind `gen`: small enough to run in well under a
-// second, rich enough that the report has nonzero compute, wire and wait
-// buckets on every rank.
-int cmd_gen(int argc, char** argv) {
-  if (argc < 1) return usage();
-  const std::string name = argv[0];
+struct GenArgs {
+  std::string name;
   std::uint64_t seed = 7;
   int straggler_rank = -2;
   double straggler_scale = 1.0;
+};
+
+bool parse_gen_args(int argc, char** argv, GenArgs* out) {
+  if (argc < 1) return false;
+  out->name = argv[0];
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
-      seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+      out->seed =
+          static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--straggler") == 0 && i + 1 < argc) {
       const char* spec = argv[++i];
       char* colon = nullptr;
-      straggler_rank = static_cast<int>(std::strtol(spec, &colon, 10));
-      if (colon == nullptr || *colon != ':') return usage();
-      straggler_scale = std::strtod(colon + 1, nullptr);
+      out->straggler_rank = static_cast<int>(std::strtol(spec, &colon, 10));
+      if (colon == nullptr || *colon != ':') return false;
+      out->straggler_scale = std::strtod(colon + 1, nullptr);
     } else {
-      return usage();
+      return false;
     }
   }
+  return true;
+}
 
+// The reference workload behind `gen` and `flame`: one Tesseract [2,2,2]
+// Transformer-layer forward + backward on 8 ranks — small enough to run in
+// well under a second, rich enough that the report has nonzero compute,
+// wire and wait buckets on every rank. `monitor` (with the live plane) is
+// only attached when `live` is set; tracing and metrics are always on.
+std::unique_ptr<comm::World> run_reference(const GenArgs& args, bool live,
+                                           obs::ExpectationMonitor* monitor) {
   constexpr std::int64_t kBatch = 4, kSeq = 8, kHidden = 64, kHeads = 4;
-  Rng data_rng(seed);
+  Rng data_rng(args.seed);
   Tensor x = random_normal({kBatch, kSeq, kHidden}, data_rng);
   Tensor dy = random_normal({kBatch, kSeq, kHidden}, data_rng);
 
-  comm::World world(8, topo::MachineSpec::meluxina());
-  world.enable_tracing();
-  world.enable_metrics();
-  if (straggler_rank >= -1) {
+  auto world =
+      std::make_unique<comm::World>(8, topo::MachineSpec::meluxina());
+  world->enable_tracing();
+  world->enable_metrics();
+  if (args.straggler_rank >= -1) {
     fault::FaultPlan plan;
-    plan.slow_ranks.push_back({straggler_rank, straggler_scale});
-    world.install_fault_plan(plan);
+    plan.slow_ranks.push_back({args.straggler_rank, args.straggler_scale});
+    world->install_fault_plan(plan);
   }
-  obs::LiveConfig live_cfg;
-  live_cfg.interval = 2e-5;  // reference workload spans ~1ms: tens of windows
-  live_cfg.label = name;
-  live_cfg.path = "TIMELINE_" + name + ".json";
-  world.enable_live(live_cfg);
-  // Peer-relative drift detection only (no cost-model profile for this
-  // hand-built workload): flags the --straggler rank, silent otherwise.
-  obs::ExpectationMonitor monitor(obs::ExpectationProfile{}, obs::DriftConfig{},
-                                  world.size());
-  world.live()->set_monitor(&monitor);
-  world.run([&](comm::Communicator& c) {
+  if (live) {
+    obs::LiveConfig live_cfg;
+    live_cfg.interval = 2e-5;  // workload spans ~1ms: tens of windows
+    live_cfg.label = args.name;
+    live_cfg.path = "TIMELINE_" + args.name + ".json";
+    world->enable_live(live_cfg);
+    world->live()->set_monitor(monitor);
+  }
+  world->run([&](comm::Communicator& c) {
     par::TesseractContext ctx(c, 2, 2);
-    Rng wrng(seed + 1);
+    Rng wrng(args.seed + 1);
     par::TesseractTransformerLayer layer(ctx, kHidden, kHeads, wrng);
     Tensor xl = par::distribute_activation(ctx.comms(), x);
     Tensor dyl = par::distribute_activation(ctx.comms(), dy);
     (void)layer.forward(xl);
     (void)layer.backward(dyl);
   });
+  if (live) world->finish_live();
+  return world;
+}
 
-  world.finish_live();
+int cmd_gen(int argc, char** argv) {
+  GenArgs args;
+  if (!parse_gen_args(argc, argv, &args)) return usage();
+  // Peer-relative drift detection only (no cost-model profile for this
+  // hand-built workload): flags the --straggler rank, silent otherwise.
+  obs::ExpectationMonitor monitor(obs::ExpectationProfile{}, obs::DriftConfig{},
+                                  8);
+  const auto world = run_reference(args, /*live=*/true, &monitor);
+  const std::string& name = args.name;
 
-  if (!perf::write_run_report(world, name)) {
+  if (!perf::write_run_report(*world, name)) {
     std::fprintf(stderr, "tsr_report: failed to write REPORT_%s.{json,html}\n",
                  name.c_str());
     return 1;
   }
-  const perf::RunReport rep = perf::build_run_report(world, name);
+  if (!perf::write_flamegraph(*world, "FLAME_" + name + ".folded")) {
+    std::fprintf(stderr, "tsr_report: failed to write FLAME_%s.folded\n",
+                 name.c_str());
+    return 1;
+  }
+  const perf::RunReport rep = perf::build_run_report(*world, name);
   std::printf("%s", rep.to_string().c_str());
-  std::printf("\nwrote REPORT_%s.json, REPORT_%s.html and TIMELINE_%s.json\n",
-              name.c_str(), name.c_str(), name.c_str());
+  std::printf(
+      "\nwrote REPORT_%s.json, REPORT_%s.html, TIMELINE_%s.json and "
+      "FLAME_%s.folded\n",
+      name.c_str(), name.c_str(), name.c_str(), name.c_str());
+  return 0;
+}
+
+int cmd_flame(int argc, char** argv) {
+  GenArgs args;
+  if (!parse_gen_args(argc, argv, &args)) return usage();
+  const auto world = run_reference(args, /*live=*/false, nullptr);
+  const std::string path = "FLAME_" + args.name + ".folded";
+  if (!perf::write_flamegraph(*world, path)) {
+    std::fprintf(stderr, "tsr_report: failed to write %s\n", path.c_str());
+    return 1;
+  }
+  const std::vector<perf::FoldedLine> lines = perf::fold_traces(*world);
+  std::printf("wrote %s (%zu stacks over %d ranks)\n", path.c_str(),
+              lines.size(), world->size());
   return 0;
 }
 
@@ -187,5 +240,6 @@ int main(int argc, char** argv) {
   if (cmd == "summarize") return cmd_summarize(argc - 2, argv + 2);
   if (cmd == "html") return cmd_html(argc - 2, argv + 2);
   if (cmd == "diff") return cmd_diff(argc - 2, argv + 2);
+  if (cmd == "flame") return cmd_flame(argc - 2, argv + 2);
   return usage();
 }

@@ -75,13 +75,19 @@ struct Timeline {
     if (line.empty()) return true;
     const JsonValue v = tsr::obs::json_parse(line, err);
     if (!err->empty()) return false;
+    consume_doc(v);
+    return true;
+  }
+
+  // Consumes one already-parsed stream document.
+  void consume_doc(const JsonValue& v) {
     if (v.find("kind") != nullptr) {
       have_header = true;
       label = str(v, "label");
       interval = num(v, "interval");
       nranks = static_cast<int>(num(v, "nranks"));
       fault_plan = str(v, "fault_plan", "none");
-      return true;
+      return;
     }
     if (const JsonValue* d = v.find("drift")) {
       drift_events += 1;
@@ -97,7 +103,7 @@ struct Timeline {
         os << buf;
       }
       drift_lines.push_back(os.str());
-      return true;
+      return;
     }
     if (const JsonValue* f = v.find("final")) {
       have_final = true;
@@ -107,7 +113,7 @@ struct Timeline {
          << " makespan=" << num(*f, "makespan")
          << " drift_events=" << static_cast<long long>(num(*f, "drift_events"));
       final_line = os.str();
-      return true;
+      return;
     }
     if (v.find("w") != nullptr) {
       prev_window = have_window ? window : JsonValue::object();
@@ -115,18 +121,8 @@ struct Timeline {
       have_window = true;
       windows_seen += 1;
     }
-    return true;
   }
 };
-
-std::string bar(double fraction, int width) {
-  if (fraction < 0.0) fraction = 0.0;
-  if (fraction > 1.0) fraction = 1.0;
-  const int fill = static_cast<int>(fraction * width + 0.5);
-  std::string s(static_cast<std::size_t>(fill), '#');
-  s.append(static_cast<std::size_t>(width - fill), '.');
-  return s;
-}
 
 // Renders the dashboard for tl.window (per-window deltas vs prev_window).
 void render(const Timeline& tl, const JsonValue& win, const JsonValue& prev,
@@ -272,7 +268,6 @@ int cmd_follow(int argc, char** argv) {
     }
   }
   Timeline tl;
-  std::string carry, err;
   std::streamoff offset = 0;
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(timeout_s);
@@ -282,36 +277,24 @@ int cmd_follow(int argc, char** argv) {
       in.seekg(offset);
       std::ostringstream chunk;
       chunk << in.rdbuf();
-      std::string data = carry + chunk.str();
-      offset += static_cast<std::streamoff>(data.size() - carry.size());
-      carry.clear();
-      std::size_t start = 0;
+      const std::string data = chunk.str();
       bool rendered = false;
-      for (;;) {
-        const std::size_t nl = data.find('\n', start);
-        if (nl == std::string::npos) {
-          carry = data.substr(start);  // incomplete trailing line
-          break;
-        }
-        err.clear();
-        if (!tl.consume(data.substr(start, nl - start), &err)) {
-          if (nl + 1 == data.size()) {
-            // Torn trailing line: the writer appends the stream concurrently,
-            // so the last line of a poll may be incomplete even when a
-            // newline already landed. Rewind to the line start and re-read
-            // it fresh on the next poll; a line that never completes runs
-            // into the timeout (exit 4) instead of failing the stream.
-            offset -= static_cast<std::streamoff>(data.size() - start);
-            break;
-          }
-          // Lines with data after them are complete: a parse failure here is
-          // genuine stream corruption, not a tear.
-          std::fprintf(stderr, "tsr_top: %s: %s\n", path, err.c_str());
-          return 1;
-        }
-        rendered = true;
-        start = nl + 1;
+      // The shared JSONL scanner owns the concurrent-writer protocol: only
+      // bytes up to the last fully parsed line are consumed, so a torn
+      // trailing line — or trailing bytes with no newline yet — is simply
+      // re-read fresh on the next poll. A line that never completes runs
+      // into the timeout (exit 4) instead of failing the stream; a parse
+      // failure with data after it is genuine corruption.
+      const tsr::obs::JsonlScan scan =
+          tsr::obs::scan_jsonl(data, [&](JsonValue v) {
+            tl.consume_doc(v);
+            rendered = true;
+          });
+      if (scan.status == tsr::obs::JsonlScan::Status::Corrupt) {
+        std::fprintf(stderr, "tsr_top: %s: %s\n", path, scan.error.c_str());
+        return 1;
       }
+      offset += static_cast<std::streamoff>(scan.consumed);
       if (rendered && tl.have_window) {
         render(tl, tl.window, tl.prev_window, plain);
       }
